@@ -1,0 +1,47 @@
+"""Ablation: anticipatory dispatch (paper ref. [15]) vs concurrency.
+
+Anticipatory scheduling attacks deceptive idleness: when coalescing
+fails, a stream's next sequential request arrives just after its
+previous one completes, and a work-conserving scheduler has already
+seeked away. The textbook trade-off should emerge: holding the media
+idle is cheap when few streams compete (the window usually pays off)
+and expensive under high concurrency (the queue always has real work).
+This ablation measures both regimes and checks the trade-off's
+signature: anticipation's *relative* cost grows with stream count,
+while total seek time drops whenever waits fire.
+"""
+
+from repro import SEGM, ultrastar_36z15_config
+
+from benchmarks.ablations.common import runner
+from benchmarks.helpers import run_once
+
+
+def test_ablation_anticipatory(benchmark):
+    plain = ultrastar_36z15_config()
+    anticipating = ultrastar_36z15_config(anticipatory_wait_ms=0.3)
+
+    def compare():
+        out = {}
+        for streams in (4, 128):
+            for label, config in (("plain", plain), ("ant", anticipating)):
+                result = runner().run(
+                    config, SEGM, n_streams=streams, coalesce_prob=0.6
+                )
+                out[f"t{streams}_{label}"] = result.io_time_ms
+                out[f"t{streams}_{label}_waits"] = float(
+                    result.controller.anticipation_waits
+                )
+        out["penalty_t4"] = out["t4_ant"] / out["t4_plain"]
+        out["penalty_t128"] = out["t128_ant"] / out["t128_plain"]
+        return out
+
+    times = run_once(benchmark, compare)
+    benchmark.extra_info["io_time_ms"] = times
+    assert times["t4_ant_waits"] > 0
+    assert times["t128_ant_waits"] > 0
+    # the signature trade-off: anticipation costs (relatively) more
+    # under high concurrency than under low concurrency
+    assert times["penalty_t4"] <= times["penalty_t128"] + 0.02
+    # and at low concurrency it stays close to work-conserving LOOK
+    assert times["penalty_t4"] < 1.10

@@ -1,0 +1,30 @@
+"""Ablation: request-coalescing probability, including the paper's
+claim that No-RA cannot beat FOR "even for an unrealistic coalescing
+probability of 100%" (§6.2)."""
+
+from repro import FOR, NORA, ultrastar_36z15_config
+
+from benchmarks.ablations.common import runner
+from benchmarks.helpers import run_once
+
+
+def test_ablation_coalescing(benchmark):
+    config = ultrastar_36z15_config()
+
+    def compare():
+        out = {}
+        for prob in (0.5, 0.87, 1.0):
+            out[f"nora@{prob}"] = runner().run(
+                config, NORA, coalesce_prob=prob
+            ).io_time_ms
+            out[f"for@{prob}"] = runner().run(
+                config, FOR, coalesce_prob=prob
+            ).io_time_ms
+        return out
+
+    times = run_once(benchmark, compare)
+    benchmark.extra_info["io_time_ms"] = times
+    # the paper's claim: FOR >= No-RA even at perfect coalescing
+    assert times["for@1.0"] <= times["nora@1.0"] * 1.05
+    # and No-RA degrades sharply as coalescing weakens
+    assert times["nora@0.5"] > times["nora@1.0"]

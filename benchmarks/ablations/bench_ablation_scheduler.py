@@ -1,0 +1,23 @@
+"""Ablation: queue discipline — LOOK (paper default) vs FCFS/SSTF/C-SCAN."""
+
+from repro import SEGM, ultrastar_36z15_config
+from repro.config import SchedulerKind
+
+from benchmarks.ablations.common import runner
+from benchmarks.helpers import run_once
+
+
+def test_ablation_scheduler(benchmark):
+    def compare():
+        return {
+            kind.value: runner()
+            .run(ultrastar_36z15_config(scheduler=kind), SEGM)
+            .io_time_ms
+            for kind in SchedulerKind
+        }
+
+    times = run_once(benchmark, compare)
+    benchmark.extra_info["io_time_ms"] = times
+    # position-aware disciplines must beat FCFS under 128-stream queues
+    assert times["look"] < times["fcfs"]
+    assert times["sstf"] < times["fcfs"]

@@ -1,0 +1,29 @@
+"""Ablation: victim-segment policy — LRU vs FIFO vs random vs
+round-robin (§2.1 cites all four for conventional controllers)."""
+
+import dataclasses
+
+from repro import SEGM, ultrastar_36z15_config
+from repro.config import SegmentPolicy
+
+from benchmarks.ablations.common import runner
+from benchmarks.helpers import run_once
+
+
+def test_ablation_segment_policy(benchmark):
+    def compare():
+        times = {}
+        for policy in SegmentPolicy:
+            config = ultrastar_36z15_config()
+            config = config.with_(
+                cache=dataclasses.replace(config.cache, segment_policy=policy)
+            )
+            times[policy.value] = runner().run(config, SEGM).io_time_ms
+        return times
+
+    times = run_once(benchmark, compare)
+    benchmark.extra_info["io_time_ms"] = times
+    # all policies must be within a reasonable band of each other —
+    # the paper treats the victim policy as a second-order knob
+    fastest, slowest = min(times.values()), max(times.values())
+    assert slowest < 1.5 * fastest

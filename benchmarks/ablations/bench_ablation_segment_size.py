@@ -1,0 +1,33 @@
+"""Ablation: Table 1's segment-size variants — 128 KB x 27,
+256 KB x 13, 512 KB x 6."""
+
+import dataclasses
+
+from repro import SEGM, ultrastar_36z15_config
+from repro.units import KB
+
+from benchmarks.ablations.common import runner
+from benchmarks.helpers import run_once
+
+VARIANTS = ((128, 27), (256, 13), (512, 6))
+
+
+def test_ablation_segment_size(benchmark):
+    def compare():
+        times = {}
+        for seg_kb, count in VARIANTS:
+            config = ultrastar_36z15_config()
+            config = config.with_(
+                cache=dataclasses.replace(
+                    config.cache,
+                    segment_size_bytes=seg_kb * KB,
+                    n_segments=count,
+                )
+            )
+            times[f"{seg_kb}KBx{count}"] = runner().run(config, SEGM).io_time_ms
+        return times
+
+    times = run_once(benchmark, compare)
+    benchmark.extra_info["io_time_ms"] = times
+    # bigger blind read-ahead wastes more bandwidth on 16-KB files
+    assert times["128KBx27"] < times["512KBx6"]

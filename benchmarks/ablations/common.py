@@ -1,0 +1,20 @@
+"""Shared workload for the ablation benchmarks.
+
+All ablations replay the same §6.2-style synthetic workload (16-KB
+files, 128 streams, Zipf 0.4) so the numbers are directly comparable
+across ablation dimensions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro import SyntheticSpec, SyntheticWorkload, TechniqueRunner
+from repro.units import KB
+
+
+@lru_cache(maxsize=1)
+def runner() -> TechniqueRunner:
+    spec = SyntheticSpec(n_requests=1500, file_size_bytes=16 * KB)
+    layout, trace = SyntheticWorkload(spec).build()
+    return TechniqueRunner(layout, trace)

@@ -1,0 +1,19 @@
+"""Benchmark: extension experiment — FOR's gains vs fragmentation
+(§4's untested claim, closed with simulation)."""
+
+from repro.experiments import ext_frag
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_ext_frag(benchmark):
+    result = run_once(
+        benchmark, ext_frag.run, scale=0.08, frag_points=(0.0, 0.1, 0.2)
+    )
+    record_series(benchmark, result)
+    gains = result.get("FOR_gain")
+    # §4: FOR's benefit must not shrink as fragmentation grows
+    assert gains[-1] >= gains[0] - 0.05
+    # blind read-ahead pollutes more on fragmented layouts
+    pollution = result.get("useless_RA_blind")
+    assert pollution[-1] > pollution[0]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 1 (avg sequential read vs fragmentation)."""
+
+from repro.experiments import fig01
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig01(benchmark):
+    result = run_once(benchmark, fig01.run, scale=0.1, frag_points=(0.0, 0.05, 0.2))
+    record_series(benchmark, result)
+    assert result.get("32blk_sim")[0] > result.get("32blk_sim")[2]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 2 (disk-block access distribution vs Zipf(0.43))."""
+
+from repro.experiments import fig02
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig02(benchmark):
+    result = run_once(benchmark, fig02.run, scale=0.004)
+    record_series(benchmark, result)
+    assert result.get("Web")[0] >= result.get("Web")[-1]

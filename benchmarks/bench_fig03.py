@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 3 (normalized I/O time vs file size)."""
+
+from repro.experiments import fig03
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig03(benchmark):
+    result = run_once(benchmark, fig03.run, scale=0.05, file_sizes_kb=(4, 16, 64, 128))
+    record_series(benchmark, result)
+    assert result.get("FOR")[1] < 0.85  # ~40% cut at 16 KB

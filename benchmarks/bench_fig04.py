@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 4 (normalized I/O time vs stream count)."""
+
+from repro.experiments import fig04
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig04(benchmark):
+    result = run_once(benchmark, fig04.run, scale=0.05, stream_counts=(64, 256, 1024))
+    record_series(benchmark, result)
+    assert all(v < 1.0 for v in result.get("FOR"))

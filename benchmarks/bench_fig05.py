@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 5 (normalized I/O time vs Zipf coefficient)."""
+
+from repro.experiments import fig05
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig05(benchmark):
+    result = run_once(benchmark, fig05.run, scale=0.05, alphas=(0.0, 0.4, 1.0))
+    record_series(benchmark, result)
+    hits = result.get("hdc_hit_rate")
+    assert hits[-1] > hits[0]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 6 (normalized I/O time vs write percentage)."""
+
+from repro.experiments import fig06
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig06(benchmark):
+    result = run_once(benchmark, fig06.run, scale=0.05, write_fractions=(0.0, 0.3, 0.6))
+    record_series(benchmark, result)
+    f = result.get("FOR")
+    assert f[-1] > f[0]  # gains shrink with writes

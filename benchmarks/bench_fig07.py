@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 7 (Web server I/O time vs striping unit)."""
+
+from repro.experiments import fig07
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig07(benchmark):
+    result = run_once(benchmark, fig07.run, scale=0.004, units_kb=(4, 16, 64, 256))
+    record_series(benchmark, result)
+    assert result.get("FOR")[1] < result.get("Segm")[1]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 8 (Web server I/O time vs HDC size)."""
+
+from repro.experiments import fig08
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig08(benchmark):
+    result = run_once(benchmark, fig08.run, scale=0.004, hdc_sizes_kb=(0, 1024, 2560))
+    record_series(benchmark, result)
+    hits = result.get("hdc_hit_rate")
+    assert hits[-1] >= hits[0]

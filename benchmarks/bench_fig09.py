@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 9 (Proxy server I/O time vs striping unit)."""
+
+from repro.experiments import fig09
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig09(benchmark):
+    result = run_once(benchmark, fig09.run, scale=0.012, units_kb=(8, 64, 256))
+    record_series(benchmark, result)
+    assert result.get("FOR")[1] < result.get("Segm")[1]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 10 (Proxy server I/O time vs HDC size)."""
+
+from repro.experiments import fig10
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, fig10.run, scale=0.012, hdc_sizes_kb=(0, 1024, 2560))
+    record_series(benchmark, result)
+    assert len(result.get("Segm+HDC")) == 3

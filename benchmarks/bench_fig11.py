@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 11 (File server I/O time vs striping unit)."""
+
+from repro.experiments import fig11
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, fig11.run, scale=0.003, units_kb=(8, 64, 128, 256))
+    record_series(benchmark, result)
+    assert result.get("FOR")[2] < result.get("Segm")[2]

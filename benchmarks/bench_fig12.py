@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper's Figure 12 (File server I/O time vs HDC size)."""
+
+from repro.experiments import fig12
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_fig12(benchmark):
+    result = run_once(benchmark, fig12.run, scale=0.003, hdc_sizes_kb=(0, 1024, 2560))
+    record_series(benchmark, result)
+    assert len(result.get("hdc_hit_rate")) == 3

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the hot simulator components.
+
+These track the raw speed of the pieces the replay loop leans on —
+event engine, controller caches, bitmap scans, Zipf sampling — so a
+performance regression in the substrate is visible independently of
+the figure-level runs.
+"""
+
+import numpy as np
+
+from repro.cache.block import BlockCache
+from repro.cache.segment import SegmentCache
+from repro.readahead.bitmap import SequentialityBitmap
+from repro.sim.engine import Simulator
+from repro.workloads.zipf import ZipfSampler
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def chain(n):
+            if n:
+                sim.schedule(0.1, chain, n - 1)
+
+        for _ in range(100):
+            sim.schedule(0.0, chain, 100)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run_events)
+    assert fired == 100 * 101
+
+
+def test_block_cache_fill_access_cycle(benchmark):
+    def cycle():
+        cache = BlockCache(1024)
+        for base in range(0, 32_000, 32):
+            cache.fill(range(base, base + 32))
+            cache.access(range(base, base + 4))
+        return len(cache)
+
+    assert benchmark(cycle) == 1024
+
+
+def test_segment_cache_fill_access_cycle(benchmark):
+    def cycle():
+        cache = SegmentCache(27, 32)
+        for i, base in enumerate(range(0, 32_000, 32)):
+            cache.fill(list(range(base, base + 32)), stream_hint=i % 128)
+            cache.access(range(base, base + 4))
+        return cache.segments_in_use
+
+    assert benchmark(cycle) == 27
+
+
+def test_bitmap_run_length_scan(benchmark):
+    bitmap = SequentialityBitmap(1_000_000)
+    bitmap.set_many(np.arange(1, 1_000_000, 2))
+
+    def scan():
+        total = 0
+        for start in range(0, 1_000_000, 1000):
+            total += bitmap.run_length_from(start, 32)
+        return total
+
+    assert benchmark(scan) > 0
+
+
+def test_zipf_sampling_throughput(benchmark):
+    sampler = ZipfSampler(100_000, 0.7, rng=np.random.default_rng(0))
+    draws = benchmark(sampler.sample, 200_000)
+    assert len(draws) == 200_000

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the paper's Table 2 (throughput improvements
+at each server's best striping unit)."""
+
+from repro.experiments import table2
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2.run, scale=0.02)
+    record_series(benchmark, result)
+    # FOR improves every server; the combination beats Segm+HDC.
+    for i, _server in enumerate(result.x_values):
+        assert result.get("FOR")[i] > 0
+        assert result.get("FOR+HDC")[i] > result.get("Segm+HDC")[i] - 0.05

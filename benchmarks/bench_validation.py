@@ -1,0 +1,14 @@
+"""Benchmark: §6.1 simulator validation micro-benchmarks."""
+
+from repro.experiments import validation
+
+from benchmarks.helpers import record_series, run_once
+
+
+def test_validation(benchmark):
+    result = run_once(benchmark, validation.run, scale=1.0)
+    record_series(benchmark, result)
+    # the paper's hardware validation tolerances: 8% reads, 3% writes
+    read_err, write_err = result.get("error_frac")
+    assert read_err < 0.08
+    assert write_err < 0.08

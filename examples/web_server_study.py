@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Web-server striping study (a compact Figure 7).
+
+Generates the Rutgers-like web workload — server-level requests pushed
+through a simulated host buffer cache, exactly the paper's trace
+methodology — then sweeps the striping unit to find the best
+configuration for each technique.
+
+Run:  python examples/web_server_study.py [--scale 0.02]
+"""
+
+import sys
+
+from repro import (
+    FOR,
+    FOR_HDC,
+    SEGM,
+    SEGM_HDC,
+    TechniqueRunner,
+    WebServerSpec,
+    WebServerWorkload,
+    ultrastar_36z15_config,
+)
+from repro.config import ArrayParams
+from repro.metrics.report import format_table
+from repro.units import KB, MB
+
+UNITS_KB = (4, 16, 64, 256)
+
+
+def main() -> None:
+    scale = 0.02
+    if "--scale" in sys.argv:
+        scale = float(sys.argv[sys.argv.index("--scale") + 1])
+
+    layout, trace = WebServerWorkload(WebServerSpec(scale=scale)).build()
+    print(
+        f"web workload @ scale {scale}: {len(trace)} disk accesses, "
+        f"{100 * trace.write_fraction:.1f}% writes, "
+        f"{trace.meta.n_streams} streams\n"
+    )
+    runner = TechniqueRunner(layout, trace)
+
+    techniques = (SEGM, SEGM_HDC, FOR, FOR_HDC)
+    rows = []
+    best = {}
+    for unit_kb in UNITS_KB:
+        config = ultrastar_36z15_config(
+            array=ArrayParams(n_disks=8, striping_unit_bytes=unit_kb * KB)
+        )
+        row = [f"{unit_kb} KB"]
+        for tech in techniques:
+            result = runner.run(
+                config, tech, hdc_bytes=2 * MB, hdc_pin_fraction=scale
+            )
+            row.append(f"{result.io_time_s:.2f}")
+            key = tech.label
+            if key not in best or result.io_time_s < best[key][1]:
+                best[key] = (unit_kb, result.io_time_s)
+        rows.append(row)
+
+    print(format_table(["unit"] + [t.label for t in techniques], rows))
+    print("\nbest striping unit per system:")
+    for label, (unit_kb, seconds) in best.items():
+        print(f"  {label:>9}: {unit_kb} KB  ({seconds:.2f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""repro — reproduction of *Improving Disk Throughput in Data-Intensive
+Servers* (Carrera & Bianchini, HPCA 2004).
+
+The package implements the paper's two disk-controller cache techniques
+— **File-Oriented Read-ahead (FOR)** and **Host-guided Device Caching
+(HDC)** — on top of a from-scratch event-driven simulator of a striped
+SCSI disk array, plus the host-side substrates (file-system layout,
+buffer cache, prefetching, coalescing) and workload generators needed
+to regenerate every figure and table of the paper's evaluation.
+
+Quick start::
+
+    from repro import (
+        SyntheticWorkload, SyntheticSpec, TechniqueRunner,
+        ultrastar_36z15_config, SEGM, FOR,
+    )
+
+    layout, trace = SyntheticWorkload(SyntheticSpec(n_requests=2000)).build()
+    runner = TechniqueRunner(layout, trace)
+    config = ultrastar_36z15_config()
+    base = runner.run(config, SEGM)
+    fancy = runner.run(config, FOR)
+    print(f"FOR cuts I/O time by {fancy.speedup_vs(base):.0%}")
+"""
+
+from repro.config import (
+    ArrayParams,
+    BusParams,
+    BlockPolicy,
+    CacheOrganization,
+    CacheParams,
+    DiskParams,
+    ReadAheadKind,
+    SchedulerKind,
+    SeekParams,
+    SegmentPolicy,
+    SimConfig,
+    make_config,
+    ultrastar_36z15_config,
+)
+from repro.errors import (
+    AddressError,
+    CacheError,
+    ConfigError,
+    LayoutError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.experiments.runner import TechniqueRunner
+from repro.experiments.techniques import (
+    ALL_TECHNIQUES,
+    BLOCK,
+    FOR,
+    FOR_HDC,
+    NORA,
+    SEGM,
+    SEGM_HDC,
+    Technique,
+    technique_config,
+)
+from repro.fs.layout import FileSystemLayout
+from repro.fs.bitmap_builder import build_bitmaps, measure_sequential_runs
+from repro.hdc.manager import HdcManager
+from repro.hdc.planner import HdcPlan, plan_pin_sets
+from repro.hdc.profiler import BlockAccessProfiler
+from repro.hdc.victim import VictimCacheManager
+from repro.array.raid import MirroredArray
+from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.metrics.collector import RunResult
+from repro.sim.engine import Simulator
+from repro.workloads.fileserver import FileServerSpec, FileServerWorkload
+from repro.workloads.proxy import ProxyServerSpec, ProxyServerWorkload
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta
+from repro.workloads.webserver import WebServerSpec, WebServerWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "ArrayParams",
+    "BusParams",
+    "BlockPolicy",
+    "CacheOrganization",
+    "CacheParams",
+    "DiskParams",
+    "ReadAheadKind",
+    "SchedulerKind",
+    "SeekParams",
+    "SegmentPolicy",
+    "SimConfig",
+    "make_config",
+    "ultrastar_36z15_config",
+    # errors
+    "AddressError",
+    "CacheError",
+    "ConfigError",
+    "LayoutError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    # running experiments
+    "TechniqueRunner",
+    "Technique",
+    "technique_config",
+    "ALL_TECHNIQUES",
+    "SEGM",
+    "BLOCK",
+    "NORA",
+    "FOR",
+    "SEGM_HDC",
+    "FOR_HDC",
+    # system pieces
+    "System",
+    "Simulator",
+    "ReplayDriver",
+    "RunResult",
+    "FileSystemLayout",
+    "build_bitmaps",
+    "measure_sequential_runs",
+    # HDC management + extensions
+    "HdcManager",
+    "HdcPlan",
+    "plan_pin_sets",
+    "BlockAccessProfiler",
+    "VictimCacheManager",
+    "MirroredArray",
+    "CooperativeHdc",
+    "plan_cooperative_pins",
+    # workloads
+    "DiskAccess",
+    "Trace",
+    "TraceMeta",
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "WebServerSpec",
+    "WebServerWorkload",
+    "ProxyServerSpec",
+    "ProxyServerWorkload",
+    "FileServerSpec",
+    "FileServerWorkload",
+    "__version__",
+]

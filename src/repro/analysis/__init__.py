@@ -1,0 +1,45 @@
+"""Closed-form models from the paper, used for prediction and validation."""
+
+from repro.analysis.hitrate import conventional_hit_rate, for_hit_rate
+from repro.analysis.utilization import (
+    read_service_time,
+    for_utilization_reduction,
+)
+from repro.analysis.sequential_run import (
+    expected_sequential_run,
+    expected_sequential_run_exact,
+)
+from repro.analysis.striping_model import gamma_uniform, striped_response_time
+from repro.analysis.zipf_model import hdc_expected_hit_rate
+from repro.analysis.hdc_sizing import (
+    rmin_blind,
+    rmin_for,
+    hdc_max_blocks,
+    for_frees_more_memory,
+)
+from repro.analysis.queueing import (
+    MvaPrediction,
+    mva_closed,
+    predict_io_time_ms,
+    busy_time_bound_ms,
+)
+
+__all__ = [
+    "conventional_hit_rate",
+    "for_hit_rate",
+    "read_service_time",
+    "for_utilization_reduction",
+    "expected_sequential_run",
+    "expected_sequential_run_exact",
+    "gamma_uniform",
+    "striped_response_time",
+    "hdc_expected_hit_rate",
+    "rmin_blind",
+    "rmin_for",
+    "hdc_max_blocks",
+    "for_frees_more_memory",
+    "MvaPrediction",
+    "mva_closed",
+    "predict_io_time_ms",
+    "busy_time_bound_ms",
+]

@@ -1,0 +1,61 @@
+"""HDC vs read-ahead memory trade-off (§5's closed-form sizing).
+
+"The maximum array-wide amount of memory allocated to HDC (in blocks)
+should be ``Hmax = D*c - Rmin``", where ``Rmin`` is the minimum
+read-ahead cache the workload needs:
+
+* blind read-ahead: ``Rmin = t * (c / s)`` — every stream needs a
+  whole segment;
+* FOR: ``Rmin = t * f`` — every stream needs only its file's blocks
+  (``f < c/s`` for small files), which is why FOR frees more memory
+  for HDC.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigError(f"{name} must be positive, got {value}")
+
+
+def rmin_blind(n_streams: int, cache_blocks: int, n_segments: int) -> float:
+    """Minimum read-ahead blocks for blind read-ahead: ``t * (c/s)``."""
+    _check_positive(
+        n_streams=n_streams, cache_blocks=cache_blocks, n_segments=n_segments
+    )
+    return n_streams * (cache_blocks / n_segments)
+
+
+def rmin_for(n_streams: int, avg_file_blocks: float) -> float:
+    """Minimum read-ahead blocks for FOR: ``t * f``."""
+    _check_positive(n_streams=n_streams, avg_file_blocks=avg_file_blocks)
+    return n_streams * avg_file_blocks
+
+
+def hdc_max_blocks(
+    n_disks: int,
+    cache_blocks_per_disk: int,
+    rmin_blocks: float,
+) -> float:
+    """``Hmax = D*c - Rmin`` (clamped at zero when Rmin exceeds it)."""
+    _check_positive(n_disks=n_disks, cache_blocks_per_disk=cache_blocks_per_disk)
+    if rmin_blocks < 0:
+        raise ConfigError(f"Rmin must be non-negative, got {rmin_blocks}")
+    return max(0.0, n_disks * cache_blocks_per_disk - rmin_blocks)
+
+
+def for_frees_more_memory(
+    n_streams: int,
+    cache_blocks: int,
+    n_segments: int,
+    avg_file_blocks: float,
+) -> bool:
+    """§5's claim: for small files (``f < c/s``), FOR's Hmax exceeds
+    blind read-ahead's."""
+    return rmin_for(n_streams, avg_file_blocks) < rmin_blind(
+        n_streams, cache_blocks, n_segments
+    )

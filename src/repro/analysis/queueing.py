@@ -1,0 +1,81 @@
+"""Closed queueing-network model of the replay loop (Mean Value Analysis).
+
+The paper's replay is a classic *closed* system: ``t`` streams each keep
+one I/O outstanding; every I/O visits one of ``D`` identical disks
+chosen (approximately) uniformly by striping. Exact single-class MVA
+for balanced stations then predicts the closed-loop throughput, from
+nothing but the mean per-operation service time:
+
+    Q_d(0) = 0
+    R(n)   = S * (1 + Q_d(n-1))          response time per visit
+    X(n)   = n / R(n)                    system throughput (ops/ms)
+    Q_d(n) = X(n) * R(n) / D             queue length per disk
+
+This gives the sanity envelope for the simulator — with LOOK disabled
+(FCFS) and no caching, simulated I/O time should land within the MVA
+prediction's ballpark — and it exposes the two asymptotes the paper's
+speedup analysis leans on: for ``t <= D`` throughput scales with
+streams; for ``t >> D`` the array is busy-time-bound and I/O time is
+``(total ops * S) / D`` — which is why FOR's *utilization* reduction
+translates one-for-one into throughput at high concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MvaPrediction:
+    """Closed-network MVA outputs at population ``n_streams``."""
+
+    throughput_ops_ms: float
+    response_ms: float
+    queue_per_disk: float
+    utilization: float
+
+
+def mva_closed(n_streams: int, n_disks: int, service_ms: float) -> MvaPrediction:
+    """Exact MVA for ``n_streams`` customers over ``n_disks`` identical
+    exponential servers with mean service ``service_ms``."""
+    if n_streams < 1 or n_disks < 1:
+        raise ConfigError("streams and disks must be >= 1")
+    if service_ms <= 0:
+        raise ConfigError(f"service time must be positive, got {service_ms}")
+    queue = 0.0
+    response = service_ms
+    throughput = 0.0
+    for n in range(1, n_streams + 1):
+        response = service_ms * (1.0 + queue)
+        throughput = n / response
+        queue = throughput * response / n_disks
+    return MvaPrediction(
+        throughput_ops_ms=throughput,
+        response_ms=response,
+        queue_per_disk=queue,
+        utilization=min(1.0, throughput * service_ms / n_disks),
+    )
+
+
+def predict_io_time_ms(
+    n_operations: int,
+    n_streams: int,
+    n_disks: int,
+    service_ms: float,
+) -> float:
+    """Predicted closed-loop time to complete ``n_operations``."""
+    if n_operations < 0:
+        raise ConfigError(f"negative operation count {n_operations}")
+    if n_operations == 0:
+        return 0.0
+    prediction = mva_closed(n_streams, n_disks, service_ms)
+    return n_operations / prediction.throughput_ops_ms
+
+
+def busy_time_bound_ms(n_operations: int, n_disks: int, service_ms: float) -> float:
+    """The high-concurrency asymptote: total busy time spread over D."""
+    if n_disks < 1:
+        raise ConfigError("need >= 1 disk")
+    return n_operations * service_ms / n_disks

@@ -1,0 +1,43 @@
+"""Expected physically sequential run length vs fragmentation (Fig. 1).
+
+A file of ``f`` blocks has ``f - 1`` intra-file boundaries; each is
+discontiguous with probability ``p`` (the fragmentation degree). The
+number of breaks is ``B ~ Binomial(f-1, p)`` and the file splits into
+``B + 1`` maximal runs, so the average run length of the file is
+``f / (B + 1)``.
+
+* :func:`expected_sequential_run` uses the convenient first-order
+  approximation ``f / (1 + (f-1) p)``.
+* :func:`expected_sequential_run_exact` evaluates ``E[f / (B+1)]``
+  exactly; a little algebra gives the closed form
+  ``(1 - (1-p)^f) / p`` for ``p > 0``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def _check(file_blocks: int, frag_prob: float) -> None:
+    if file_blocks < 1:
+        raise ConfigError(f"file must span >=1 block, got {file_blocks}")
+    if not 0.0 <= frag_prob <= 1.0:
+        raise ConfigError(f"fragmentation must be in [0,1], got {frag_prob}")
+
+
+def expected_sequential_run(file_blocks: int, frag_prob: float) -> float:
+    """First-order approximation ``f / (1 + (f-1) p)``."""
+    _check(file_blocks, frag_prob)
+    return file_blocks / (1.0 + (file_blocks - 1) * frag_prob)
+
+
+def expected_sequential_run_exact(file_blocks: int, frag_prob: float) -> float:
+    """Exact ``E[f / (B+1)]`` with ``B ~ Binomial(f-1, p)``.
+
+    Uses the identity ``E[1/(B+1)] = (1 - (1-p)^f) / (f p)`` for the
+    binomial distribution, hence ``E[f/(B+1)] = (1 - (1-p)^f) / p``.
+    """
+    _check(file_blocks, frag_prob)
+    if frag_prob == 0.0:
+        return float(file_blocks)
+    return (1.0 - (1.0 - frag_prob) ** file_blocks) / frag_prob

@@ -1,0 +1,30 @@
+"""Striped-array response-time model (§2.2, after Simitci & Reed).
+
+When a request for ``r`` blocks fans out into ``D`` sub-requests, the
+response time is the *maximum* of the sub-request times:
+``T(r, D) = gamma(D) * T(r / D)``, where ``gamma(D)`` depends on the
+sub-request time distribution — ``2D / (D+1)`` for uniform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def gamma_uniform(n_subrequests: int) -> float:
+    """``gamma(D) = 2D / (D+1)`` for uniformly distributed times."""
+    if n_subrequests < 1:
+        raise ConfigError(f"need >=1 sub-request, got {n_subrequests}")
+    return 2.0 * n_subrequests / (n_subrequests + 1.0)
+
+
+def striped_response_time(
+    single_disk_time_fn,
+    n_blocks: int,
+    n_subrequests: int,
+) -> float:
+    """``T(r, D)`` given a single-disk ``T(r)`` callable."""
+    if n_blocks < 1:
+        raise ConfigError(f"need >=1 block, got {n_blocks}")
+    per_disk_blocks = max(1.0, n_blocks / n_subrequests)
+    return gamma_uniform(n_subrequests) * single_disk_time_fn(per_disk_blocks)

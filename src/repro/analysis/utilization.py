@@ -1,0 +1,57 @@
+"""Disk-utilization analysis: ``T(r) = seek + rotation + r*S/rate`` (§2.1).
+
+FOR lowers utilization by shrinking ``r`` for small files while leaving
+seek and rotation untouched (§4). :func:`for_utilization_reduction`
+reproduces the paper's worked example: with the Ultrastar 36Z15
+parameters and 4-KB average files, FOR cuts utilization ~29% versus a
+conventional 128-KB read-ahead.
+"""
+
+from __future__ import annotations
+
+from repro.config import DiskParams
+from repro.errors import ConfigError
+from repro.mechanics.seek import SeekModel
+
+
+def read_service_time(
+    disk: DiskParams,
+    n_blocks: int,
+    block_size: int,
+    seek_ms: float = None,
+) -> float:
+    """Expected ``T(r)`` for a read of ``n_blocks`` (no queueing)."""
+    if n_blocks < 0:
+        raise ConfigError(f"negative block count {n_blocks}")
+    if seek_ms is None:
+        seek_ms = 3.4  # the drive's datasheet average
+    transfer = n_blocks * block_size / disk.transfer_rate_bytes_ms
+    return seek_ms + disk.avg_rotational_latency_ms + transfer
+
+
+def for_utilization_reduction(
+    disk: DiskParams,
+    file_blocks: int,
+    readahead_blocks: int,
+    block_size: int,
+    seek_ms: float = None,
+) -> float:
+    """Fractional utilization saved by FOR vs blind read-ahead.
+
+    FOR reads ``file_blocks`` per access where blind read-ahead reads
+    ``readahead_blocks``; both pay the same seek + rotation.
+    """
+    if file_blocks < 1 or readahead_blocks < 1:
+        raise ConfigError("block counts must be >= 1")
+    blind = read_service_time(disk, max(file_blocks, readahead_blocks),
+                              block_size, seek_ms)
+    fored = read_service_time(disk, file_blocks, block_size, seek_ms)
+    return 1.0 - fored / blind
+
+
+def average_seek_of(disk: DiskParams, block_size: int) -> float:
+    """Uniform-random average seek time of the configured drive."""
+    from repro.geometry.disk_geometry import DiskGeometry
+
+    geometry = DiskGeometry(disk, block_size)
+    return SeekModel(disk.seek).average_seek_time(geometry.n_cylinders)

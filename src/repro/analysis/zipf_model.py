@@ -1,0 +1,15 @@
+"""Analytic HDC hit-rate prediction (§5).
+
+"For an array-wide cache of H HDC blocks, the expected hit rate can be
+approximated as ``h = z_alpha(H, N)``" — the accumulated probability of
+the ``H`` most-requested of ``N`` blocks under a Zipf distribution.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.zipf import zipf_accumulated
+
+
+def hdc_expected_hit_rate(hdc_blocks_total: int, n_blocks: int, alpha: float) -> float:
+    """``z_alpha(H, N)`` — predicted fraction of accesses pinned."""
+    return zipf_accumulated(hdc_blocks_total, n_blocks, alpha)

@@ -1,0 +1,6 @@
+"""Disk array: striping layout and request fan-out across disks."""
+
+from repro.array.striping import StripingLayout, PhysicalRun
+from repro.array.array import DiskArray
+
+__all__ = ["StripingLayout", "PhysicalRun", "DiskArray"]

@@ -1,0 +1,146 @@
+"""The disk array: disks, controllers, shared bus and request fan-out.
+
+:class:`DiskArray` owns one :class:`~repro.disk.drive.DiskDrive` +
+:class:`~repro.controller.controller.DiskController` pair per physical
+disk, the shared :class:`~repro.bus.scsi.ScsiBus`, and the
+:class:`~repro.array.striping.StripingLayout`. It offers both a
+command-level interface (used by the host's coalescer) and a
+logical-run convenience interface (used by examples and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.array.striping import PhysicalRun, StripingLayout
+from repro.bus.scsi import ScsiBus
+from repro.controller.commands import DiskCommand
+from repro.controller.controller import DiskController
+from repro.controller.stats import ControllerStats
+from repro.cache.base import CacheStats
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class DiskArray:
+    """An array of independently controlled disks behind one bus."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        striping: StripingLayout,
+        controllers: Sequence[DiskController],
+        bus: ScsiBus,
+    ):
+        if striping.n_disks != len(controllers):
+            raise SimulationError(
+                f"striping expects {striping.n_disks} disks, "
+                f"got {len(controllers)} controllers"
+            )
+        self.sim = sim
+        self.striping = striping
+        self.controllers = list(controllers)
+        self.bus = bus
+
+    # -- command-level interface ----------------------------------------
+
+    def submit_command(self, cmd: DiskCommand) -> None:
+        """Send one physically addressed command to its controller."""
+        self.controllers[cmd.disk_id].submit(cmd)
+
+    # -- logical-run convenience interface --------------------------------
+
+    def submit_logical(
+        self,
+        logical_start: int,
+        n_blocks: int,
+        is_write: bool = False,
+        stream_id: int = -1,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> List[DiskCommand]:
+        """Fan a logical run out to per-disk commands; gather completions.
+
+        ``on_complete`` fires once, when the last sub-command finishes —
+        the array-level response time therefore reflects the slowest
+        sub-request, the γ(D) effect of §2.2.
+        """
+        runs = self.striping.map_run(logical_start, n_blocks)
+        remaining = len(runs)
+        commands: List[DiskCommand] = []
+
+        def _sub_done(_cmd: DiskCommand) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        for run in runs:
+            cmd = DiskCommand(
+                disk_id=run.disk,
+                start_block=run.start,
+                n_blocks=run.n_blocks,
+                is_write=is_write,
+                stream_id=stream_id,
+                on_complete=_sub_done,
+            )
+            commands.append(cmd)
+        # Issue after building all, so `remaining` is stable even if a
+        # command completes synchronously-soon via zero-delay events.
+        for cmd in commands:
+            self.submit_command(cmd)
+        return commands
+
+    # -- HDC orchestration -------------------------------------------------
+
+    def pin_logical_blocks(self, logical_blocks, timed: bool = False) -> int:
+        """Pin a set of logical blocks on their home controllers."""
+        per_disk: List[List[int]] = [[] for _ in self.controllers]
+        count = 0
+        for lb in logical_blocks:
+            disk, phys = self.striping.locate(lb)
+            per_disk[disk].append(phys)
+            count += 1
+        for disk, blocks in enumerate(per_disk):
+            if blocks:
+                self.controllers[disk].pin_blocks(blocks, timed=timed)
+        return count
+
+    def flush_all_hdc(self, on_complete: Optional[Callable[[], None]] = None) -> int:
+        """``flush_hdc`` on every controller; returns blocks flushed."""
+        remaining = len(self.controllers)
+        total = 0
+
+        def _one_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        for ctrl in self.controllers:
+            total += ctrl.flush_hdc(_one_done)
+        return total
+
+    # -- aggregate statistics ----------------------------------------------
+
+    def controller_stats(self) -> ControllerStats:
+        """Array-wide sum of controller counters."""
+        total = ControllerStats()
+        for ctrl in self.controllers:
+            total = total.merge(ctrl.stats)
+        return total
+
+    def cache_stats(self) -> CacheStats:
+        """Array-wide sum of cache counters."""
+        total = CacheStats()
+        for ctrl in self.controllers:
+            total = total.merge(ctrl.cache.stats)
+        return total
+
+    def media_busy_times(self) -> List[float]:
+        """Per-disk media busy time (load-balance diagnostics)."""
+        return [ctrl.drive.busy_time for ctrl in self.controllers]
+
+    @property
+    def n_disks(self) -> int:
+        """Number of physical disks."""
+        return len(self.controllers)

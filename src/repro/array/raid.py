@@ -1,0 +1,131 @@
+"""RAID-1 mirroring over the striped array (an extension).
+
+The paper treats replication (e.g. Yu et al.'s capacity-for-performance
+trading, its ref. [34]) as orthogonal to FOR/HDC. This module makes the
+combination concrete: a :class:`MirroredArray` presents the same
+logical-run interface as :class:`~repro.array.array.DiskArray` but keeps
+two copies of every striping unit on distinct disks.
+
+* **Reads** go to the replica whose disk currently has the shorter
+  queue (and, on ties, the closer head) — the classic mirrored-read
+  optimisation.
+* **Writes** go to both replicas and complete when the slower one
+  lands, preserving durability semantics.
+
+FOR needs one sequentiality bitmap per *physical* disk; with mirroring,
+each replica disk gets the bitmap derived from its own physical layout,
+which :func:`mirrored_striping` exposes via two striping views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.array.array import DiskArray
+from repro.array.striping import StripingLayout
+from repro.controller.commands import DiskCommand
+from repro.errors import ConfigError, SimulationError
+
+
+def mirrored_striping(
+    n_disks: int, unit_blocks: int, disk_blocks: int
+) -> StripingLayout:
+    """The striping layout of one replica set (half the spindles)."""
+    if n_disks % 2:
+        raise ConfigError(f"mirroring needs an even disk count, got {n_disks}")
+    return StripingLayout(n_disks // 2, unit_blocks, disk_blocks)
+
+
+class MirroredArray:
+    """RAID-1: each logical block lives on disks ``d`` and ``d + D/2``.
+
+    Wraps an existing :class:`DiskArray` built with all ``D`` physical
+    disks; logical addressing covers only the primary half's capacity.
+    """
+
+    def __init__(self, array: DiskArray):
+        if array.n_disks % 2:
+            raise ConfigError(
+                f"mirroring needs an even disk count, got {array.n_disks}"
+            )
+        self.array = array
+        self.half = array.n_disks // 2
+        base = array.striping
+        self.striping = StripingLayout(
+            self.half, base.unit_blocks, base.disk_blocks
+        )
+        self.reads_primary = 0
+        self.reads_mirror = 0
+
+    # -- replica selection ---------------------------------------------
+
+    def _pick_read_replica(self, disk: int, start: int) -> int:
+        """Choose the primary (``disk``) or its mirror by queue length,
+        breaking ties by head distance."""
+        primary = self.array.controllers[disk]
+        mirror = self.array.controllers[disk + self.half]
+        p_load = primary.queue_length + (1 if primary.drive.busy else 0)
+        m_load = mirror.queue_length + (1 if mirror.drive.busy else 0)
+        if p_load != m_load:
+            return disk if p_load < m_load else disk + self.half
+        cylinder = primary.drive.geometry.cylinder_of(start)
+        p_dist = abs(primary.drive.head_cylinder - cylinder)
+        m_dist = abs(mirror.drive.head_cylinder - cylinder)
+        return disk if p_dist <= m_dist else disk + self.half
+
+    # -- public interface ------------------------------------------------
+
+    def submit_logical(
+        self,
+        logical_start: int,
+        n_blocks: int,
+        is_write: bool = False,
+        stream_id: int = -1,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> List[DiskCommand]:
+        """Fan a logical run out with mirrored semantics."""
+        runs = self.striping.map_run(logical_start, n_blocks)
+        commands: List[DiskCommand] = []
+        for run in runs:
+            if is_write:
+                # write both replicas
+                for disk in (run.disk, run.disk + self.half):
+                    commands.append(
+                        DiskCommand(disk, run.start, run.n_blocks, True, stream_id)
+                    )
+            else:
+                disk = self._pick_read_replica(run.disk, run.start)
+                if disk == run.disk:
+                    self.reads_primary += 1
+                else:
+                    self.reads_mirror += 1
+                commands.append(
+                    DiskCommand(disk, run.start, run.n_blocks, False, stream_id)
+                )
+        remaining = len(commands)
+
+        def _sub_done(_cmd: DiskCommand) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        for cmd in commands:
+            cmd.on_complete = _sub_done
+        for cmd in commands:
+            self.array.submit_command(cmd)
+        return commands
+
+    @property
+    def n_disks(self) -> int:
+        """Physical spindles (both replica sets)."""
+        return self.array.n_disks
+
+    @property
+    def logical_capacity_blocks(self) -> int:
+        """Usable capacity: half the raw blocks."""
+        return self.striping.total_blocks
+
+    def read_balance(self) -> Tuple[int, int]:
+        """(primary, mirror) read counts — load-balancing diagnostics."""
+        return self.reads_primary, self.reads_mirror

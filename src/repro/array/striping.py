@@ -1,0 +1,113 @@
+"""Round-robin striping of logical blocks across an array (§2.2).
+
+Logical blocks are grouped into striping units of fixed size and the
+units are laid out across the disks round-robin:
+
+* unit ``u`` lives on disk ``u % D``,
+* at per-disk offset ``(u // D) * unit_blocks``.
+
+The key property the paper exploits: consecutive *logical* blocks stop
+being consecutive *physically* at every unit boundary, so read-aheads
+larger than the striping unit read another file's (or no file's) data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import AddressError, ConfigError
+
+
+@dataclass(frozen=True)
+class PhysicalRun:
+    """A physically contiguous run of blocks on one disk."""
+
+    disk: int
+    start: int
+    n_blocks: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n_blocks
+
+
+class StripingLayout:
+    """Logical-to-physical block mapping for a striped array."""
+
+    def __init__(self, n_disks: int, unit_blocks: int, disk_blocks: int):
+        if n_disks < 1:
+            raise ConfigError(f"need >=1 disk, got {n_disks}")
+        if unit_blocks < 1:
+            raise ConfigError(f"striping unit must be >=1 block, got {unit_blocks}")
+        if disk_blocks < 1:
+            raise ConfigError(f"disks must hold >=1 block, got {disk_blocks}")
+        self.n_disks = n_disks
+        self.unit_blocks = unit_blocks
+        self.disk_blocks = disk_blocks
+        self.total_blocks = n_disks * disk_blocks
+
+    def locate(self, logical_block: int) -> tuple:
+        """Map one logical block to ``(disk, physical_block)``."""
+        if not 0 <= logical_block < self.total_blocks:
+            raise AddressError(
+                f"logical block {logical_block} outside [0, {self.total_blocks})"
+            )
+        unit, offset = divmod(logical_block, self.unit_blocks)
+        disk = unit % self.n_disks
+        physical = (unit // self.n_disks) * self.unit_blocks + offset
+        return disk, physical
+
+    def logical_of(self, disk: int, physical_block: int) -> int:
+        """Inverse mapping: ``(disk, physical)`` back to the logical block."""
+        if not 0 <= disk < self.n_disks:
+            raise AddressError(f"disk {disk} outside [0, {self.n_disks})")
+        if not 0 <= physical_block < self.disk_blocks:
+            raise AddressError(
+                f"physical block {physical_block} outside [0, {self.disk_blocks})"
+            )
+        unit_on_disk, offset = divmod(physical_block, self.unit_blocks)
+        unit = unit_on_disk * self.n_disks + disk
+        return unit * self.unit_blocks + offset
+
+    def map_run(self, logical_start: int, n_blocks: int) -> List[PhysicalRun]:
+        """Split a logical run into per-disk physically contiguous runs.
+
+        Adjacent fragments that land physically contiguous on the same
+        disk (always the case for a single-disk "array") are merged.
+        """
+        if n_blocks <= 0:
+            raise AddressError(f"run must cover >=1 block, got {n_blocks}")
+        if logical_start < 0 or logical_start + n_blocks > self.total_blocks:
+            raise AddressError(
+                f"run [{logical_start},{logical_start + n_blocks}) outside array"
+            )
+        runs: List[PhysicalRun] = []
+        lb = logical_start
+        remaining = n_blocks
+        unit_blocks = self.unit_blocks
+        while remaining > 0:
+            disk, phys = self.locate(lb)
+            room_in_unit = unit_blocks - (lb % unit_blocks)
+            take = min(remaining, room_in_unit)
+            if runs and runs[-1].disk == disk and runs[-1].end == phys:
+                last = runs[-1]
+                runs[-1] = PhysicalRun(disk, last.start, last.n_blocks + take)
+            else:
+                runs.append(PhysicalRun(disk, phys, take))
+            lb += take
+            remaining -= take
+        return runs
+
+    def iter_unit_fragments(
+        self, logical_start: int, n_blocks: int
+    ) -> Iterator[PhysicalRun]:
+        """Yield per-striping-unit fragments without cross-unit merging."""
+        lb = logical_start
+        remaining = n_blocks
+        while remaining > 0:
+            disk, phys = self.locate(lb)
+            take = min(remaining, self.unit_blocks - (lb % self.unit_blocks))
+            yield PhysicalRun(disk, phys, take)
+            lb += take
+            remaining -= take

@@ -1,0 +1,5 @@
+"""Shared host-to-array bus model."""
+
+from repro.bus.scsi import ScsiBus
+
+__all__ = ["ScsiBus"]

@@ -1,0 +1,49 @@
+"""Ultra160 SCSI bus: a single shared channel with bandwidth contention.
+
+All disks of the array hang off one host adapter (§6.1: "an array of
+SCSI disks attached to a single Ultra160 SCSI card"). Every data
+transfer between a controller cache and host memory holds the bus for
+``bytes / bandwidth + per-command overhead``; concurrent transfers
+queue FIFO. At 160 MB/s the bus is rarely the bottleneck for 8 disks of
+54 MB/s media rate doing small random I/O — but it is simulated, so
+configurations that saturate it (large striping units, big reads)
+behave correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.config import BusParams
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+class ScsiBus:
+    """FIFO-contended shared bus."""
+
+    def __init__(self, sim: Simulator, params: BusParams):
+        self.sim = sim
+        self.params = params
+        self._resource = Resource(sim, capacity=1, name="scsi-bus")
+        self.bytes_transferred: int = 0
+        self.transfers: int = 0
+
+    def transfer(self, n_bytes: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Move ``n_bytes`` across the bus, then run ``fn(*args)``."""
+        duration = (
+            n_bytes / self.params.bandwidth_bytes_ms
+            + self.params.per_command_overhead_ms
+        )
+        self.bytes_transferred += n_bytes
+        self.transfers += 1
+        self._resource.hold(duration, fn, *args)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` during which the bus was busy."""
+        return self._resource.utilization(elapsed)
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers currently waiting for the bus."""
+        return self._resource.queue_length

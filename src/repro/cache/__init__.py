@@ -1,0 +1,27 @@
+"""Disk-controller cache organizations.
+
+Two organizations from the paper:
+
+* :class:`~repro.cache.segment.SegmentCache` — the conventional design
+  (§2.1): fixed-size segments, one per sequential stream, whole-segment
+  replacement (LRU by default, with FIFO/random/round-robin variants).
+* :class:`~repro.cache.block.BlockCache` — FOR's design (§4): a pool of
+  blocks allocated to streams on demand, with MRU replacement over
+  host-consumed blocks.
+
+Both can be wrapped with a :class:`~repro.cache.pinned.PinnedRegion`
+implementing HDC's non-replaceable blocks (§5).
+"""
+
+from repro.cache.base import CacheStats, ControllerCache
+from repro.cache.segment import SegmentCache
+from repro.cache.block import BlockCache
+from repro.cache.pinned import PinnedRegion
+
+__all__ = [
+    "CacheStats",
+    "ControllerCache",
+    "SegmentCache",
+    "BlockCache",
+    "PinnedRegion",
+]

@@ -1,0 +1,99 @@
+"""Common interface and statistics for controller caches.
+
+The controller interacts with its cache through three operations:
+
+* :meth:`ControllerCache.missing` — which blocks of a request are absent
+  (the controller turns the answer into a media read);
+* :meth:`ControllerCache.access` — mark blocks as delivered to the host
+  (drives recency state; MRU uses it to pick victims);
+* :meth:`ControllerCache.fill` — install blocks brought in by a media
+  operation (requested + read-ahead).
+
+Blocks are identified by their physical block number on the owning
+disk. The cache never stores data, only presence/recency metadata —
+exactly what a performance simulator needs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and pollution accounting for one controller cache."""
+
+    lookups: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+    fills: int = 0
+    blocks_filled: int = 0
+    evictions: int = 0
+    #: Blocks evicted without ever being accessed by the host —
+    #: the paper's "useless read-ahead blocks" (cache pollution).
+    useless_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of looked-up blocks found in the cache."""
+        total = self.block_hits + self.block_misses
+        return self.block_hits / total if total else 0.0
+
+    @property
+    def pollution_rate(self) -> float:
+        """Fraction of filled blocks evicted unused."""
+        return self.useless_evictions / self.blocks_filled if self.blocks_filled else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum (for array-wide aggregation)."""
+        return CacheStats(
+            lookups=self.lookups + other.lookups,
+            block_hits=self.block_hits + other.block_hits,
+            block_misses=self.block_misses + other.block_misses,
+            fills=self.fills + other.fills,
+            blocks_filled=self.blocks_filled + other.blocks_filled,
+            evictions=self.evictions + other.evictions,
+            useless_evictions=self.useless_evictions + other.useless_evictions,
+        )
+
+
+class ControllerCache(ABC):
+    """Abstract controller cache (presence/recency metadata only)."""
+
+    def __init__(self, capacity_blocks: int):
+        self.capacity_blocks = capacity_blocks
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def contains(self, block: int) -> bool:
+        """Whether ``block`` is currently cached."""
+
+    @abstractmethod
+    def missing(self, blocks: Sequence[int]) -> List[int]:
+        """Subset of ``blocks`` not in the cache (stats are updated)."""
+
+    @abstractmethod
+    def access(self, blocks: Iterable[int]) -> None:
+        """Mark cached ``blocks`` as consumed by the host."""
+
+    @abstractmethod
+    def fill(self, blocks: Sequence[int], stream_hint: int = -1) -> None:
+        """Install ``blocks`` (evicting as needed).
+
+        ``stream_hint`` identifies the I/O stream for segment-organized
+        caches; block-organized caches ignore it.
+        """
+
+    @abstractmethod
+    def invalidate(self, block: int) -> None:
+        """Drop ``block`` if present (used for write coherence)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of blocks currently cached."""
+
+    def peek(self, blocks: Sequence[int]) -> List[int]:
+        """Like :meth:`missing` but without touching statistics/recency."""
+        return [b for b in blocks if not self.contains(b)]

@@ -1,0 +1,108 @@
+"""Block-organized controller cache (FOR's organization, §4).
+
+Blocks are allocated to incoming streams on demand from a single pool;
+when the pool is exhausted, replacement is per-block. The paper uses an
+MRU policy: because controller caches see essentially no temporal
+locality (the host caches re-used data itself), the block *most
+recently consumed by the host* is the least likely to be needed again,
+while read-ahead blocks that have not yet been consumed must be kept.
+
+Implementation: two recency lists (ordered dicts) —
+
+* ``_accessed``: blocks the host has consumed, ordered by last touch;
+  MRU evicts from the most-recent end, LRU from the least-recent end.
+* ``_unaccessed``: read-ahead blocks not yet consumed, in fill order;
+  they are only evicted when no consumed block is available (MRU) or
+  when they are globally least recent (LRU).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Sequence
+
+from repro.config import BlockPolicy
+from repro.errors import CacheError
+from repro.cache.base import ControllerCache
+
+
+class BlockCache(ControllerCache):
+    """Pool-of-blocks cache with MRU (default) or LRU replacement."""
+
+    def __init__(self, capacity_blocks: int, policy: BlockPolicy = BlockPolicy.MRU):
+        if capacity_blocks < 1:
+            raise CacheError(f"capacity must be >=1 block, got {capacity_blocks}")
+        super().__init__(capacity_blocks=capacity_blocks)
+        self.policy = policy
+        self._accessed: "OrderedDict[int, None]" = OrderedDict()
+        self._unaccessed: "OrderedDict[int, None]" = OrderedDict()
+
+    # -- queries -------------------------------------------------------
+
+    def contains(self, block: int) -> bool:
+        return block in self._accessed or block in self._unaccessed
+
+    def missing(self, blocks: Sequence[int]) -> List[int]:
+        absent = []
+        for b in blocks:
+            self.stats.lookups += 1
+            if b in self._accessed or b in self._unaccessed:
+                self.stats.block_hits += 1
+            else:
+                self.stats.block_misses += 1
+                absent.append(b)
+        return absent
+
+    def access(self, blocks: Iterable[int]) -> None:
+        for b in blocks:
+            if b in self._unaccessed:
+                del self._unaccessed[b]
+                self._accessed[b] = None
+            elif b in self._accessed:
+                self._accessed.move_to_end(b)
+
+    # -- fills and replacement ------------------------------------------
+
+    def fill(self, blocks: Sequence[int], stream_hint: int = -1) -> None:
+        if not blocks:
+            return
+        self.stats.fills += 1
+        for b in blocks:
+            if b in self._accessed or b in self._unaccessed:
+                continue
+            if len(self._accessed) + len(self._unaccessed) >= self.capacity_blocks:
+                self._evict_one()
+            self._unaccessed[b] = None
+            self.stats.blocks_filled += 1
+
+    def _evict_one(self) -> None:
+        self.stats.evictions += 1
+        if self.policy is BlockPolicy.MRU:
+            if self._accessed:
+                self._accessed.popitem(last=True)
+                return
+            # No consumed block to drop: fall back to the oldest
+            # read-ahead block (it has waited longest unconsumed).
+            self._unaccessed.popitem(last=False)
+            self.stats.useless_evictions += 1
+            return
+        # LRU: globally least recent — unaccessed blocks are older than
+        # any accessed block touched after their fill; approximate the
+        # global order by preferring the oldest unaccessed entry.
+        if self._unaccessed:
+            self._unaccessed.popitem(last=False)
+            self.stats.useless_evictions += 1
+        else:
+            self._accessed.popitem(last=False)
+
+    def invalidate(self, block: int) -> None:
+        self._accessed.pop(block, None)
+        self._unaccessed.pop(block, None)
+
+    def __len__(self) -> int:
+        return len(self._accessed) + len(self._unaccessed)
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks still unallocated in the pool."""
+        return self.capacity_blocks - len(self)

@@ -1,0 +1,107 @@
+"""HDC pinned region: host-controlled, non-replaceable blocks (§5).
+
+The host reserves part of each controller cache and manages it with
+three commands the paper defines:
+
+* ``pin_blk``  — load a block and mark it non-replaceable;
+* ``unpin_blk`` — clear the non-replaceable flag (block becomes a
+  normal cache resident and may be dropped);
+* ``flush_hdc`` — write every dirty pinned block back to the media.
+
+Dirty pinned blocks are *not* written through: a write to a pinned
+block updates the cached copy only, deferring media traffic until the
+next ``flush_hdc`` (the paper syncs at period end, or every 30 s for
+file servers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import CacheError
+
+
+class PinnedRegion:
+    """Bookkeeping for one controller's HDC region."""
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 0:
+            raise CacheError(f"negative HDC capacity {capacity_blocks}")
+        self.capacity_blocks = capacity_blocks
+        self._dirty: Dict[int, bool] = {}
+        self.hits = 0
+        self.write_hits = 0
+
+    # -- host commands ---------------------------------------------------
+
+    def pin(self, block: int) -> None:
+        """Mark ``block`` non-replaceable (``pin_blk``)."""
+        if block in self._dirty:
+            return
+        if len(self._dirty) >= self.capacity_blocks:
+            raise CacheError(
+                f"HDC region full ({self.capacity_blocks} blocks); "
+                f"cannot pin block {block}"
+            )
+        self._dirty[block] = False
+
+    def unpin(self, block: int) -> None:
+        """Clear the non-replaceable flag (``unpin_blk``).
+
+        Unpinning a dirty block is refused: the host must flush first,
+        otherwise the only up-to-date copy would become evictable.
+        """
+        dirty = self._dirty.get(block)
+        if dirty is None:
+            return
+        if dirty:
+            raise CacheError(f"cannot unpin dirty block {block}; flush_hdc first")
+        del self._dirty[block]
+
+    def flush(self) -> List[int]:
+        """Return and clear the dirty set (``flush_hdc``).
+
+        The caller (controller) is responsible for scheduling the media
+        writes for the returned blocks.
+        """
+        dirty = [b for b, d in self._dirty.items() if d]
+        for b in dirty:
+            self._dirty[b] = False
+        return dirty
+
+    # -- controller-side operations ---------------------------------------
+
+    def is_pinned(self, block: int) -> bool:
+        """Whether ``block`` is resident in the HDC region."""
+        return block in self._dirty
+
+    def note_read_hit(self, block: int) -> None:
+        """Account a read served from the pinned region."""
+        self.hits += 1
+
+    def write(self, block: int) -> None:
+        """Absorb a write into the pinned copy (marks it dirty)."""
+        if block not in self._dirty:
+            raise CacheError(f"write() on unpinned block {block}")
+        self._dirty[block] = True
+        self.hits += 1
+        self.write_hits += 1
+
+    def pinned_blocks(self) -> List[int]:
+        """All currently pinned block numbers."""
+        return list(self._dirty)
+
+    def dirty_count(self) -> int:
+        """Number of dirty pinned blocks awaiting a flush."""
+        return sum(1 for d in self._dirty.values() if d)
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._dirty
+
+    def pin_many(self, blocks: Iterable[int]) -> None:
+        """Pin a batch of blocks (capacity-checked per block)."""
+        for b in blocks:
+            self.pin(b)

@@ -1,0 +1,168 @@
+"""Segment-organized controller cache (the conventional design, §2.1).
+
+The cache is divided into fixed-size segments, each holding one
+sequential run of blocks belonging to one I/O stream. A whole segment
+is the unit of allocation and replacement: when a new stream needs a
+segment and none is free, a victim segment is dropped in its entirety
+("the whole victim segment is replaced to make room for the new
+stream"). The victim policy is LRU by default; FIFO, random and
+round-robin — all cited by the paper — are selectable.
+
+A stream that fills again reuses its own segment, which is how real
+controllers keep one segment per detected sequential stream. Thrashing
+appears exactly when concurrent streams outnumber segments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SegmentPolicy
+from repro.errors import CacheError
+from repro.cache.base import ControllerCache
+
+
+class _Segment:
+    __slots__ = ("blocks", "accessed", "stream", "last_touch", "created")
+
+    def __init__(self, blocks: List[int], stream: int, stamp: int):
+        self.blocks = blocks
+        self.accessed: set = set()
+        self.stream = stream
+        self.last_touch = stamp
+        self.created = stamp
+
+
+class SegmentCache(ControllerCache):
+    """Fixed-size-segment cache with whole-segment replacement."""
+
+    def __init__(
+        self,
+        n_segments: int,
+        segment_blocks: int,
+        policy: SegmentPolicy = SegmentPolicy.LRU,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_segments < 1:
+            raise CacheError(f"need at least one segment, got {n_segments}")
+        if segment_blocks < 1:
+            raise CacheError(f"segments must hold >=1 block, got {segment_blocks}")
+        super().__init__(capacity_blocks=n_segments * segment_blocks)
+        self.n_segments = n_segments
+        self.segment_blocks = segment_blocks
+        self.policy = policy
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._segments: List[_Segment] = []
+        self._by_block: Dict[int, _Segment] = {}
+        self._by_stream: Dict[int, _Segment] = {}
+        self._clock = 0
+        self._rr_next = 0  # round-robin victim pointer
+
+    # -- queries -------------------------------------------------------
+
+    def contains(self, block: int) -> bool:
+        return block in self._by_block
+
+    def missing(self, blocks: Sequence[int]) -> List[int]:
+        absent = []
+        by_block = self._by_block
+        for b in blocks:
+            self.stats.lookups += 1
+            if b in by_block:
+                self.stats.block_hits += 1
+            else:
+                self.stats.block_misses += 1
+                absent.append(b)
+        return absent
+
+    def access(self, blocks: Iterable[int]) -> None:
+        self._clock += 1
+        stamp = self._clock
+        for b in blocks:
+            seg = self._by_block.get(b)
+            if seg is not None:
+                seg.accessed.add(b)
+                seg.last_touch = stamp
+
+    # -- fills and replacement ------------------------------------------
+
+    def fill(self, blocks: Sequence[int], stream_hint: int = -1) -> None:
+        """Install a media run, splitting it across segment-sized chunks."""
+        if not blocks:
+            return
+        self.stats.fills += 1
+        size = self.segment_blocks
+        for start in range(0, len(blocks), size):
+            chunk = [b for b in blocks[start : start + size] if b not in self._by_block]
+            if not chunk:
+                continue
+            self._install_segment(chunk, stream_hint)
+
+    def _install_segment(self, chunk: List[int], stream: int) -> None:
+        self._clock += 1
+        # Reuse this stream's existing segment, as a real controller
+        # tracking one segment per sequential stream would.
+        slot = None
+        old = self._by_stream.get(stream) if stream >= 0 else None
+        if old is not None:
+            slot = self._segments.index(old)
+            self._drop_segment(old)
+        elif len(self._segments) >= self.n_segments:
+            victim = self._choose_victim()
+            slot = self._segments.index(victim)
+            self._drop_segment(victim)
+        seg = _Segment(chunk, stream, self._clock)
+        if slot is None:
+            self._segments.append(seg)
+        else:
+            # Replace in place: segment slots are physical regions of
+            # the cache memory (round-robin cycles over slots).
+            self._segments.insert(slot, seg)
+        if stream >= 0:
+            self._by_stream[stream] = seg
+        for b in chunk:
+            self._by_block[b] = seg
+        self.stats.blocks_filled += len(chunk)
+
+    def _choose_victim(self) -> _Segment:
+        segs = self._segments
+        if self.policy is SegmentPolicy.LRU:
+            return min(segs, key=lambda s: s.last_touch)
+        if self.policy is SegmentPolicy.FIFO:
+            return min(segs, key=lambda s: s.created)
+        if self.policy is SegmentPolicy.RANDOM:
+            return segs[int(self._rng.integers(len(segs)))]
+        # round-robin over segment slots
+        victim = segs[self._rr_next % len(segs)]
+        self._rr_next += 1
+        return victim
+
+    def _drop_segment(self, seg: _Segment) -> None:
+        self._segments.remove(seg)
+        if seg.stream >= 0 and self._by_stream.get(seg.stream) is seg:
+            del self._by_stream[seg.stream]
+        for b in seg.blocks:
+            if self._by_block.get(b) is seg:
+                del self._by_block[b]
+        self.stats.evictions += 1
+        self.stats.useless_evictions += len(seg.blocks) - len(seg.accessed)
+
+    def invalidate(self, block: int) -> None:
+        seg = self._by_block.pop(block, None)
+        if seg is not None:
+            seg.blocks.remove(block)
+            seg.accessed.discard(block)
+            if not seg.blocks:
+                self._segments.remove(seg)
+                if seg.stream >= 0 and self._by_stream.get(seg.stream) is seg:
+                    del self._by_stream[seg.stream]
+
+    def __len__(self) -> int:
+        return len(self._by_block)
+
+    @property
+    def segments_in_use(self) -> int:
+        """Number of allocated segments."""
+        return len(self._segments)

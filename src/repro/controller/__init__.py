@@ -1,0 +1,7 @@
+"""The per-disk controller: queueing, caching, read-ahead, HDC commands."""
+
+from repro.controller.commands import DiskCommand
+from repro.controller.controller import DiskController
+from repro.controller.stats import ControllerStats
+
+__all__ = ["DiskCommand", "DiskController", "ControllerStats"]

@@ -1,0 +1,465 @@
+"""Disk-controller logic (paper §2.1 mechanics + §4 FOR + §5 HDC).
+
+Responsibilities, mirroring the paper's simulator description (§6.1):
+
+* **Cache check before queueing** — "Before queuing a new request, the
+  disk controller checks the cache to see if the block is already
+  present in its cache." A fully cached read crosses the bus and
+  completes without touching the media.
+* **Queueing** — pending media operations are ordered by the configured
+  discipline (LOOK by default).
+* **Dispatch re-check** — a queued read is checked against the cache
+  again when dispatched, so read-ahead performed for an earlier command
+  can absorb later queued commands (the mechanism that makes read-ahead
+  pay off even when a file's blocks arrive as multiple commands).
+* **Read-ahead** — the media read for a missing run is extended by the
+  configured policy (blind / none / file-oriented).
+* **HDC** — a pinned region serves reads and absorbs writes for pinned
+  blocks; ``pin_blk``/``unpin_blk``/``flush_hdc`` are exposed to the
+  host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bus.scsi import ScsiBus
+from repro.cache.base import ControllerCache
+from repro.cache.pinned import PinnedRegion
+from repro.controller.commands import DiskCommand
+from repro.controller.stats import ControllerStats
+from repro.disk.drive import DiskDrive
+from repro.errors import SimulationError
+from repro.readahead.base import ReadAheadPolicy
+from repro.scheduling.base import IOScheduler
+from repro.sim.engine import Simulator
+
+
+def _contiguous_runs(blocks: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group sorted block numbers into (start, length) runs."""
+    runs: List[Tuple[int, int]] = []
+    start = prev = None
+    for b in blocks:
+        if start is None:
+            start = prev = b
+        elif b == prev + 1:
+            prev = b
+        else:
+            runs.append((start, prev - start + 1))
+            start = prev = b
+    if start is not None:
+        runs.append((start, prev - start + 1))
+    return runs
+
+
+class _MediaJob:
+    """One queued media operation (host read, write run, or flush run)."""
+
+    __slots__ = ("kind", "cmd", "start", "n_blocks", "on_done")
+
+    READ = 0
+    WRITE_RUN = 1
+    INTERNAL_WRITE = 2
+    INTERNAL_READ = 3
+
+    def __init__(
+        self,
+        kind: int,
+        cmd: Optional[DiskCommand],
+        start: int,
+        n_blocks: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ):
+        self.kind = kind
+        self.cmd = cmd
+        self.start = start
+        self.n_blocks = n_blocks
+        self.on_done = on_done
+
+
+class DiskController:
+    """The programmable controller of one disk drive."""
+
+    def __init__(
+        self,
+        disk_id: int,
+        sim: Simulator,
+        drive: DiskDrive,
+        scheduler: IOScheduler,
+        cache: ControllerCache,
+        readahead: ReadAheadPolicy,
+        bus: ScsiBus,
+        block_size: int,
+        pinned: Optional[PinnedRegion] = None,
+        dispatch_recheck: bool = False,
+        anticipatory_wait_ms: float = 0.0,
+    ):
+        self.disk_id = disk_id
+        self.sim = sim
+        self.drive = drive
+        self.scheduler = scheduler
+        self.cache = cache
+        self.readahead = readahead
+        self.bus = bus
+        self.block_size = block_size
+        self.pinned = pinned if pinned is not None else PinnedRegion(0)
+        self.dispatch_recheck = dispatch_recheck
+        #: Anticipatory scheduling (Iyer & Druschel, the paper's ref.
+        #: [15]): after completing a read for stream ``s``, keep the
+        #: media idle up to this long when the best queued candidate
+        #: belongs to a different stream — ``s``'s next sequential
+        #: request usually arrives within the window and avoids the
+        #: deceptive-idleness seek away and back. 0 disables.
+        self.anticipatory_wait_ms = anticipatory_wait_ms
+        self._last_read_stream = -1
+        self._anticipate_deadline = 0.0
+        self._wait_event = None
+        self.stats = ControllerStats()
+        self._geometry = drive.geometry
+
+    # ------------------------------------------------------------------
+    # host command entry point
+    # ------------------------------------------------------------------
+
+    def submit(self, cmd: DiskCommand) -> None:
+        """Accept a host command; completion fires ``cmd.on_complete``."""
+        if cmd.disk_id != self.disk_id:
+            raise SimulationError(
+                f"command for disk {cmd.disk_id} sent to controller {self.disk_id}"
+            )
+        if cmd.end_block > self._geometry.n_blocks:
+            raise SimulationError(
+                f"command {cmd!r} extends past the end of disk {self.disk_id}"
+            )
+        cmd.issued_at = self.sim.now
+        self.stats.commands += 1
+        self.stats.blocks_requested += cmd.n_blocks
+        if cmd.is_write:
+            self.stats.write_commands += 1
+            self._handle_write(cmd)
+        else:
+            self.stats.read_commands += 1
+            self._handle_read(cmd)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def _split_read(self, cmd: DiskCommand) -> List[int]:
+        """Classify the command's blocks; returns the missing ones.
+
+        Pinned blocks are HDC hits; the rest go through the main cache's
+        ``missing()`` (which updates hit/miss statistics).
+        """
+        pinned = self.pinned
+        plain: List[int] = []
+        n_pinned = 0
+        for b in cmd.blocks():
+            if pinned.is_pinned(b):
+                pinned.note_read_hit(b)
+                n_pinned += 1
+            else:
+                plain.append(b)
+        self.stats.hdc_block_hits += n_pinned
+        if not plain:
+            return []
+        return self.cache.missing(plain)
+
+    def _handle_read(self, cmd: DiskCommand) -> None:
+        misses = self._split_read(cmd)
+        if not misses:
+            self.stats.full_cache_hits += 1
+            cmd.served_from_cache = True
+            self._deliver_read(cmd)
+            return
+        cylinder = self._geometry.cylinder_of(misses[0])
+        span_len = misses[-1] + 1 - misses[0]
+        job = _MediaJob(_MediaJob.READ, cmd, misses[0], span_len)
+        # Anticipatory fast path: this is exactly the request the media
+        # has been held idle for — dispatch it ahead of the queue.
+        if (
+            self._wait_event is not None
+            and cmd.stream_id == self._last_read_stream
+            and not self.drive.busy
+        ):
+            self._cancel_wait()
+            if not self._dispatch_read(job):
+                self._kick()
+            return
+        self.scheduler.push(cylinder, job, self.sim.now)
+        self._kick()
+
+    def _deliver_read(self, cmd: DiskCommand) -> None:
+        """Mark consumption and move the data to the host over the bus."""
+        self.cache.access(
+            b for b in cmd.blocks() if not self.pinned.is_pinned(b)
+        )
+        self.bus.transfer(
+            cmd.n_blocks * self.block_size, self._finish_after_bus, cmd
+        )
+
+    def _finish_after_bus(self, cmd: DiskCommand) -> None:
+        """Completion continuation: stamps the time at bus-transfer end."""
+        cmd.finish(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _handle_write(self, cmd: DiskCommand) -> None:
+        pinned = self.pinned
+        plain: List[int] = []
+        n_pinned = 0
+        for b in cmd.blocks():
+            if pinned.is_pinned(b):
+                pinned.write(b)
+                n_pinned += 1
+            else:
+                plain.append(b)
+        self.stats.hdc_block_hits += n_pinned
+        self.stats.hdc_write_absorbed += n_pinned
+        # Host consumption semantics: freshly written blocks are the
+        # least likely to be re-read (the host caches them itself).
+        self.cache.access(b for b in plain if self.cache.contains(b))
+
+        runs = _contiguous_runs(plain)
+
+        def _after_bus() -> None:
+            if not runs:
+                cmd.finish(self.sim.now)
+                return
+            remaining = len(runs)
+
+            def _run_done() -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    cmd.finish(self.sim.now)
+
+            for start, length in runs:
+                job = _MediaJob(
+                    _MediaJob.WRITE_RUN, cmd, start, length, on_done=_run_done
+                )
+                self.scheduler.push(
+                    self._geometry.cylinder_of(start), job, self.sim.now
+                )
+            self._kick()
+
+        # Data moves host -> controller first, then to the media.
+        self.bus.transfer(cmd.n_blocks * self.block_size, _after_bus)
+
+    # ------------------------------------------------------------------
+    # HDC host commands (§5)
+    # ------------------------------------------------------------------
+
+    def pin_blocks(
+        self,
+        blocks: Iterable[int],
+        timed: bool = False,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """``pin_blk`` for a batch.
+
+        With ``timed=True`` the controller issues real media reads to
+        load the pinned blocks (the start-of-period cost); otherwise the
+        load is instantaneous, modelling pinning done before the
+        measured period, as in the paper's evaluation.
+        """
+        block_list = sorted(set(blocks))
+        self.pinned.pin_many(block_list)
+        self.stats.pins_loaded += len(block_list)
+        for b in block_list:
+            self.cache.invalidate(b)  # pinned region owns the block now
+        if not timed:
+            if on_complete is not None:
+                self.sim.schedule(0.0, on_complete)
+            return
+        runs = _contiguous_runs(block_list)
+        if not runs:
+            if on_complete is not None:
+                self.sim.schedule(0.0, on_complete)
+            return
+        remaining = len(runs)
+
+        def _run_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        for start, length in runs:
+            job = _MediaJob(
+                _MediaJob.INTERNAL_READ, None, start, length, on_done=_run_done
+            )
+            self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
+        self._kick()
+
+    def unpin_blocks(self, blocks: Iterable[int]) -> None:
+        """``unpin_blk`` for a batch (blocks must be clean)."""
+        for b in blocks:
+            self.pinned.unpin(b)
+
+    def flush_hdc(self, on_complete: Optional[Callable[[], None]] = None) -> int:
+        """``flush_hdc``: write all dirty pinned blocks to the media.
+
+        Returns the number of blocks flushed; ``on_complete`` fires when
+        the last write lands.
+        """
+        dirty = sorted(self.pinned.flush())
+        self.stats.flush_commands += 1
+        self.stats.flush_blocks_written += len(dirty)
+        if not dirty:
+            if on_complete is not None:
+                self.sim.schedule(0.0, on_complete)
+            return 0
+        runs = _contiguous_runs(dirty)
+        remaining = len(runs)
+
+        def _run_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        for start, length in runs:
+            job = _MediaJob(
+                _MediaJob.INTERNAL_WRITE, None, start, length, on_done=_run_done
+            )
+            self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
+        self._kick()
+        return len(dirty)
+
+    # ------------------------------------------------------------------
+    # media service loop
+    # ------------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Dispatch queued jobs while the media is idle."""
+        while not self.drive.busy and self.scheduler:
+            if self._should_anticipate():
+                return
+            req = self.scheduler.pop(self.drive.head_cylinder)
+            if req is None:  # pragma: no cover - defensive
+                break
+            job: _MediaJob = req.payload
+            if job.kind == _MediaJob.READ:
+                if self._dispatch_read(job):
+                    return  # media now busy
+                # else: satisfied from cache while queued; keep looping
+            else:
+                self._dispatch_rest(job)
+                return
+
+    def _should_anticipate(self) -> bool:
+        """Whether to hold the media idle waiting for the last reader.
+
+        True while the anticipation window is open and the scheduler's
+        best candidate belongs to a different stream; arranges a wake-up
+        at the window's end. A candidate from the anticipated stream
+        closes the window and dispatches immediately.
+        """
+        if self.anticipatory_wait_ms <= 0 or self._last_read_stream < 0:
+            return False
+        now = self.sim.now
+        if now >= self._anticipate_deadline:
+            self._cancel_wait()
+            self._last_read_stream = -1
+            return False
+        candidate = self.scheduler.peek(self.drive.head_cylinder)
+        job: Optional[_MediaJob] = candidate.payload if candidate else None
+        if (
+            job is not None
+            and job.kind == _MediaJob.READ
+            and job.cmd is not None
+            and job.cmd.stream_id == self._last_read_stream
+        ):
+            self._cancel_wait()
+            return False  # the awaited request arrived: dispatch it
+        if self._wait_event is None:
+            self.stats.anticipation_waits += 1
+            self._wait_event = self.sim.schedule(
+                self._anticipate_deadline - now, self._end_anticipation
+            )
+        return True
+
+    def _end_anticipation(self) -> None:
+        self._wait_event = None
+        self._last_read_stream = -1
+        self._kick()
+
+    def _cancel_wait(self) -> None:
+        if self._wait_event is not None:
+            self.sim.cancel(self._wait_event)
+            self._wait_event = None
+
+    def _dispatch_read(self, job: _MediaJob) -> bool:
+        """Start the media read for ``job``; False if now fully cached."""
+        cmd = job.cmd
+        assert cmd is not None
+        cache, pinned = self.cache, self.pinned
+        if self.dispatch_recheck:
+            misses = [
+                b
+                for b in cmd.blocks()
+                if not pinned.is_pinned(b) and not cache.contains(b)
+            ]
+            if not misses:
+                self.stats.dispatch_cache_hits += 1
+                cmd.served_from_cache = True
+                self._deliver_read(cmd)
+                return False
+            span_start = misses[0]
+            span_len = misses[-1] + 1 - span_start
+        else:
+            # Paper semantics: the cache was consulted at arrival only;
+            # the media read covers the span recorded at enqueue time.
+            span_start = job.start
+            span_len = job.n_blocks
+        read_size = self.readahead.read_size(
+            span_start, span_len, self._geometry.n_blocks
+        )
+        self.stats.media_reads += 1
+        self.stats.media_blocks_read += read_size
+        self.stats.readahead_blocks += read_size - span_len
+
+        def _done() -> None:
+            fill = [
+                b
+                for b in range(span_start, span_start + read_size)
+                if not pinned.is_pinned(b)
+            ]
+            cache.fill(fill, stream_hint=cmd.stream_id)
+            if self.anticipatory_wait_ms > 0 and cmd.stream_id >= 0:
+                self._last_read_stream = cmd.stream_id
+                self._anticipate_deadline = (
+                    self.sim.now + self.anticipatory_wait_ms
+                )
+            self._deliver_read(cmd)
+            self._kick()
+
+        self.drive.execute(span_start, read_size, False, _done)
+        return True
+
+    def _dispatch_rest(self, job: _MediaJob) -> None:
+        """Start a media write run or an internal (flush/pin) operation."""
+        is_write = job.kind in (_MediaJob.WRITE_RUN, _MediaJob.INTERNAL_WRITE)
+        if is_write:
+            self.stats.media_writes += 1
+            self.stats.media_blocks_written += job.n_blocks
+        else:
+            self.stats.media_reads += 1
+            self.stats.media_blocks_read += job.n_blocks
+
+        def _done() -> None:
+            if job.on_done is not None:
+                job.on_done()
+            self._kick()
+
+        self.drive.execute(job.start, job.n_blocks, is_write, _done)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Media operations waiting behind the current one."""
+        return len(self.scheduler)

@@ -1,0 +1,55 @@
+"""Per-controller counters surfaced to experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ControllerStats:
+    """Event counts accumulated by one :class:`DiskController`."""
+
+    commands: int = 0
+    read_commands: int = 0
+    write_commands: int = 0
+    blocks_requested: int = 0
+    #: Read commands fully satisfied without a media operation.
+    full_cache_hits: int = 0
+    media_reads: int = 0
+    media_writes: int = 0
+    media_blocks_read: int = 0
+    media_blocks_written: int = 0
+    #: Blocks read from the media beyond what the host asked for.
+    readahead_blocks: int = 0
+    #: Queued media reads cancelled because an earlier command's
+    #: read-ahead satisfied them while they waited (dispatch re-check).
+    dispatch_cache_hits: int = 0
+    hdc_block_hits: int = 0
+    hdc_write_absorbed: int = 0
+    flush_commands: int = 0
+    flush_blocks_written: int = 0
+    pins_loaded: int = 0
+    #: Times the media was deliberately held idle for the last reader
+    #: (anticipatory scheduling; 0 unless enabled).
+    anticipation_waits: int = 0
+
+    def merge(self, other: "ControllerStats") -> "ControllerStats":
+        """Element-wise sum for array-wide aggregation."""
+        merged = ControllerStats()
+        for name in vars(merged):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    @property
+    def hdc_hit_rate(self) -> float:
+        """HDC hits over all block accesses (the paper's hit-rate metric)."""
+        if not self.blocks_requested:
+            return 0.0
+        return self.hdc_block_hits / self.blocks_requested
+
+    @property
+    def readahead_ratio(self) -> float:
+        """Read-ahead blocks per media-read block (pollution pressure)."""
+        if not self.media_blocks_read:
+            return 0.0
+        return self.readahead_blocks / self.media_blocks_read

@@ -1,0 +1,5 @@
+"""Disk-drive mechanics service: one media operation at a time."""
+
+from repro.disk.drive import DiskDrive
+
+__all__ = ["DiskDrive"]

@@ -1,0 +1,85 @@
+"""The mechanical disk: head position plus a serial media service loop.
+
+The drive executes one media operation at a time. Each operation's
+duration comes from :class:`~repro.mechanics.service.ServiceTimeModel`:
+command overhead + seek from the current head position + sampled
+rotational latency + transfer of the whole run (requested plus
+read-ahead — "no other request can start before the disk head finishes
+reading all the blocks that had already been scheduled").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.mechanics.service import ServiceTimeModel
+from repro.sim.engine import Simulator
+
+
+class DiskDrive:
+    """Serial media server for one physical disk."""
+
+    def __init__(self, disk_id: int, sim: Simulator, service_model: ServiceTimeModel):
+        self.disk_id = disk_id
+        self.sim = sim
+        self.service_model = service_model
+        self.geometry = service_model.geometry
+        self.head_block = 0
+        self.busy = False
+        # accounting
+        self.busy_time: float = 0.0
+        self.operations: int = 0
+        self.blocks_transferred: int = 0
+        self.seek_time_total: float = 0.0
+
+    @property
+    def head_cylinder(self) -> int:
+        """Cylinder under the head (LOOK and seek distances use this)."""
+        return self.geometry.cylinder_of(self.head_block)
+
+    def execute(
+        self,
+        start_block: int,
+        n_blocks: int,
+        is_write: bool,
+        on_done: Callable[[], None],
+    ) -> float:
+        """Run one media operation; ``on_done`` fires at completion.
+
+        Returns the operation's duration (useful for tests). The drive
+        must be idle — the controller's kick loop guarantees this.
+        """
+        if self.busy:
+            raise SimulationError(f"disk {self.disk_id} media already busy")
+        if n_blocks <= 0:
+            raise SimulationError(f"media op needs >=1 block, got {n_blocks}")
+        self.geometry.check_block(start_block)
+        if start_block + n_blocks > self.geometry.n_blocks:
+            raise SimulationError(
+                f"media op [{start_block},{start_block + n_blocks}) past disk end"
+            )
+
+        duration = self.service_model.service_time(
+            self.head_block, start_block, n_blocks
+        )
+        distance = self.geometry.seek_distance(self.head_block, start_block)
+        self.seek_time_total += self.service_model.seek_model.seek_time(distance)
+        self.busy = True
+
+        def _finish() -> None:
+            self.busy = False
+            self.head_block = start_block + n_blocks - 1
+            self.busy_time += duration
+            self.operations += 1
+            self.blocks_transferred += n_blocks
+            on_done()
+
+        self.sim.schedule(duration, _finish)
+        return duration
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the media was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

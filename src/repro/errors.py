@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with one clause while
+still distinguishing configuration problems from runtime simulation
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with others."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AddressError(ReproError):
+    """A block address is outside the valid device or array range."""
+
+
+class CacheError(ReproError):
+    """Invalid controller-cache operation (e.g. pinning past capacity)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/trace is malformed or incompatible with the layout."""
+
+
+class LayoutError(ReproError):
+    """File-system layout construction failed (e.g. disk full)."""

@@ -1,0 +1,25 @@
+"""Experiment drivers reproducing every figure and table of the paper."""
+
+from repro.experiments.techniques import (
+    Technique,
+    SEGM,
+    BLOCK,
+    NORA,
+    FOR,
+    SEGM_HDC,
+    FOR_HDC,
+    technique_config,
+)
+from repro.experiments.runner import TechniqueRunner
+
+__all__ = [
+    "Technique",
+    "SEGM",
+    "BLOCK",
+    "NORA",
+    "FOR",
+    "SEGM_HDC",
+    "FOR_HDC",
+    "technique_config",
+    "TechniqueRunner",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point: ``repro-exp <experiment> [--scale X] [--chart]``.
+
+Also reachable as ``python -m repro <experiment>``. With ``all``, every
+experiment runs in sequence (slow at full scale; pass ``--scale``).
+``--chart`` appends an ASCII rendering of the series, so curve shapes
+can be eyeballed without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, RUNNERS
+
+
+def usage() -> str:
+    """The help text."""
+    names = " ".join(sorted(EXPERIMENTS))
+    return (
+        "usage: repro-exp <experiment> [--scale X] [--chart]\n"
+        f"experiments: {names} all\n"
+        "example: repro-exp fig03 --scale 0.2 --chart"
+    )
+
+
+def _run_with_chart(name: str, rest: Sequence[str]) -> None:
+    from repro.errors import ReproError
+    from repro.metrics.ascii_chart import render_series_result
+
+    runner = RUNNERS[name]
+    kwargs = {}
+    args = list(rest)
+    if "--scale" in args:
+        idx = args.index("--scale")
+        if idx + 1 < len(args):
+            kwargs["scale"] = float(args[idx + 1])
+    result = runner(**kwargs)
+    print(result.to_text())
+    try:
+        print()
+        print(render_series_result(result))
+    except ReproError as exc:
+        print(f"(no chart: {exc})")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to one (or all) experiment drivers."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(usage())
+        return 0
+    name = args[0]
+    rest = args[1:]
+    if name == "all":
+        for exp_name in sorted(EXPERIMENTS):
+            EXPERIMENTS[exp_name](rest)
+            print()
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}\n{usage()}", file=sys.stderr)
+        return 2
+    if "--chart" in rest:
+        _run_with_chart(name, rest)
+        return 0
+    EXPERIMENTS[name](rest)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Name → experiment-driver registry for the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ext_frag,
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+    validation,
+)
+
+#: Every experiment the paper's evaluation contains, by id.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": fig01.main,
+    "fig02": fig02.main,
+    "fig03": fig03.main,
+    "fig04": fig04.main,
+    "fig05": fig05.main,
+    "fig06": fig06.main,
+    "fig07": fig07.main,
+    "fig08": fig08.main,
+    "fig09": fig09.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "fig12": fig12.main,
+    "table1": table1.main,
+    "table2": table2.main,
+    "validation": validation.main,
+    "ext_frag": ext_frag.main,
+}
+
+#: run(scale=..., seed=...) entry points (programmatic access).
+RUNNERS: Dict[str, Callable] = {
+    "fig01": fig01.run,
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "validation": validation.run,
+    "ext_frag": ext_frag.run,
+}

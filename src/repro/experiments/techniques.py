@@ -1,0 +1,65 @@
+"""The systems the paper compares, as named technique descriptors.
+
+* ``Segm`` — conventional drive: segment cache + blind read-ahead.
+* ``Block`` — blind read-ahead over a block-organized cache.
+* ``No-RA`` — read-ahead disabled (block-organized cache, like FOR).
+* ``FOR`` — file-oriented read-ahead + block-organized cache.
+* ``Segm+HDC`` / ``FOR+HDC`` — with part of each controller cache
+  pinned under host control.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.config import CacheOrganization, ReadAheadKind, SimConfig
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One cache-management configuration under comparison."""
+
+    key: str
+    label: str
+    organization: CacheOrganization
+    readahead: ReadAheadKind
+    hdc: bool = False
+
+    def with_hdc(self) -> "Technique":
+        """The same technique with an HDC region enabled."""
+        return Technique(
+            key=self.key + "+hdc",
+            label=self.label + "+HDC",
+            organization=self.organization,
+            readahead=self.readahead,
+            hdc=True,
+        )
+
+
+SEGM = Technique("segm", "Segm", CacheOrganization.SEGMENT, ReadAheadKind.BLIND)
+BLOCK = Technique("block", "Block", CacheOrganization.BLOCK, ReadAheadKind.BLIND)
+NORA = Technique("nora", "No-RA", CacheOrganization.BLOCK, ReadAheadKind.NONE)
+FOR = Technique("for", "FOR", CacheOrganization.BLOCK, ReadAheadKind.FILE_ORIENTED)
+SEGM_HDC = SEGM.with_hdc()
+FOR_HDC = FOR.with_hdc()
+
+ALL_TECHNIQUES = {
+    t.key: t for t in (SEGM, BLOCK, NORA, FOR, SEGM_HDC, FOR_HDC)
+}
+
+
+def technique_config(
+    base: SimConfig, technique: Technique, hdc_bytes: int = 0
+) -> SimConfig:
+    """Derive the :class:`SimConfig` realising ``technique``.
+
+    ``hdc_bytes`` (per disk) applies only when the technique enables
+    HDC; otherwise the region is zero.
+    """
+    cache = dataclasses.replace(base.cache, organization=technique.organization)
+    return base.with_(
+        cache=cache,
+        readahead=technique.readahead,
+        hdc_bytes=hdc_bytes if technique.hdc else 0,
+    )

@@ -1,0 +1,21 @@
+"""Host file-system model: file layout on the logical block space.
+
+The disk controller knows nothing about files; the host file system
+decides where each file's blocks live. This package allocates files to
+logical blocks (with controllable fragmentation), and derives the FOR
+sequentiality bitmaps the controller consumes (§4).
+"""
+
+from repro.fs.files import Extent, FileInfo
+from repro.fs.allocator import SequentialAllocator
+from repro.fs.layout import FileSystemLayout
+from repro.fs.bitmap_builder import build_bitmaps, measure_sequential_runs
+
+__all__ = [
+    "Extent",
+    "FileInfo",
+    "SequentialAllocator",
+    "FileSystemLayout",
+    "build_bitmaps",
+    "measure_sequential_runs",
+]

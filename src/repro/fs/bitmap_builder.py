@@ -1,0 +1,74 @@
+"""Derive FOR sequentiality bitmaps from a layout and a striping scheme.
+
+For each file, walk its logical blocks in order and map them to
+(disk, physical) through the striping layout. A physical block's bit is
+set iff the file's *previous* block sits at (same disk, physical - 1) —
+the paper's definition verbatim. Two effects fall out naturally:
+
+* fragmentation gaps clear bits (extents are physically discontiguous),
+* striping-unit boundaries clear bits (the next block lives on the
+  next disk), which is why FOR's read-ahead never crosses a stripe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.array.striping import StripingLayout
+from repro.fs.layout import FileSystemLayout
+from repro.readahead.bitmap import SequentialityBitmap
+
+
+def build_bitmaps(
+    layout: FileSystemLayout, striping: StripingLayout
+) -> List[SequentialityBitmap]:
+    """One bitmap per disk, covering every file in the layout."""
+    bitmaps = [
+        SequentialityBitmap(striping.disk_blocks) for _ in range(striping.n_disks)
+    ]
+    ones: List[List[int]] = [[] for _ in range(striping.n_disks)]
+    for info in layout.files:
+        prev_disk = -1
+        prev_phys = -2
+        for start, length in info.logical_runs(0, info.size_blocks):
+            for frag in striping.iter_unit_fragments(start, length):
+                # Within a fragment every block continues the previous.
+                if frag.n_blocks > 1:
+                    ones[frag.disk].extend(
+                        range(frag.start + 1, frag.start + frag.n_blocks)
+                    )
+                # The fragment's first block continues only if the
+                # file's previous block is physically just before it.
+                if prev_disk == frag.disk and prev_phys == frag.start - 1:
+                    ones[frag.disk].append(frag.start)
+                prev_disk = frag.disk
+                prev_phys = frag.start + frag.n_blocks - 1
+    for disk, blocks in enumerate(ones):
+        bitmaps[disk].set_many(blocks)
+    return bitmaps
+
+
+def measure_sequential_runs(
+    layout: FileSystemLayout, striping: StripingLayout
+) -> float:
+    """Average physically sequential run length across all files.
+
+    This is Fig. 1's y-axis: how many blocks a read-ahead could fetch
+    before hitting a file/fragment/stripe boundary, averaged over the
+    layout (total blocks / total maximal runs).
+    """
+    total_blocks = 0
+    total_runs = 0
+    for info in layout.files:
+        prev_disk = -1
+        prev_phys = -2
+        runs = 0
+        for start, length in info.logical_runs(0, info.size_blocks):
+            for frag in striping.iter_unit_fragments(start, length):
+                if not (prev_disk == frag.disk and prev_phys == frag.start - 1):
+                    runs += 1
+                prev_disk = frag.disk
+                prev_phys = frag.start + frag.n_blocks - 1
+        total_blocks += info.size_blocks
+        total_runs += runs
+    return total_blocks / total_runs if total_runs else 0.0

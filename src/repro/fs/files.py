@@ -1,0 +1,97 @@
+"""File metadata: extents of logical blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of logical blocks belonging to one file."""
+
+    start: int
+    n_blocks: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n_blocks
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0:
+            raise LayoutError(f"extent must cover >=1 block, got {self.n_blocks}")
+        if self.start < 0:
+            raise LayoutError(f"negative extent start {self.start}")
+
+
+class FileInfo:
+    """One file: an ordered list of extents."""
+
+    __slots__ = ("file_id", "extents", "size_blocks")
+
+    def __init__(self, file_id: int, extents: List[Extent]):
+        if not extents:
+            raise LayoutError(f"file {file_id} has no extents")
+        self.file_id = file_id
+        self.extents = extents
+        self.size_blocks = sum(e.n_blocks for e in extents)
+
+    def blocks(self) -> Iterator[int]:
+        """Logical block numbers in file order."""
+        for extent in self.extents:
+            yield from range(extent.start, extent.end)
+
+    def block_at(self, offset: int) -> int:
+        """Logical block of the ``offset``-th file block."""
+        if not 0 <= offset < self.size_blocks:
+            raise LayoutError(
+                f"offset {offset} outside file {self.file_id} "
+                f"({self.size_blocks} blocks)"
+            )
+        for extent in self.extents:
+            if offset < extent.n_blocks:
+                return extent.start + offset
+            offset -= extent.n_blocks
+        raise AssertionError("unreachable")
+
+    def logical_runs(self, offset: int, n_blocks: int) -> List[Tuple[int, int]]:
+        """Contiguous logical runs covering file blocks
+        ``[offset, offset + n_blocks)`` as (start, length) pairs."""
+        if n_blocks <= 0:
+            raise LayoutError(f"need >=1 block, got {n_blocks}")
+        if offset < 0 or offset + n_blocks > self.size_blocks:
+            raise LayoutError(
+                f"range [{offset},{offset + n_blocks}) outside file "
+                f"{self.file_id} ({self.size_blocks} blocks)"
+            )
+        runs: List[Tuple[int, int]] = []
+        remaining = n_blocks
+        skip = offset
+        for extent in self.extents:
+            if skip >= extent.n_blocks:
+                skip -= extent.n_blocks
+                continue
+            start = extent.start + skip
+            take = min(extent.n_blocks - skip, remaining)
+            skip = 0
+            if runs and runs[-1][0] + runs[-1][1] == start:
+                runs[-1] = (runs[-1][0], runs[-1][1] + take)
+            else:
+                runs.append((start, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        return runs
+
+    @property
+    def n_fragments(self) -> int:
+        """Number of extents (1 = perfectly contiguous)."""
+        return len(self.extents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FileInfo id={self.file_id} blocks={self.size_blocks} "
+            f"extents={len(self.extents)}>"
+        )

@@ -1,0 +1,87 @@
+"""The file-system layout: every file's position on the logical space."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.fs.allocator import SequentialAllocator
+from repro.fs.files import FileInfo
+
+
+class FileSystemLayout:
+    """Immutable mapping from files to logical block extents."""
+
+    def __init__(self, files: List[FileInfo], total_blocks: int):
+        self.files = files
+        self.total_blocks = total_blocks
+        self.footprint_blocks = sum(f.size_blocks for f in files)
+
+    @classmethod
+    def build(
+        cls,
+        file_sizes_blocks: Sequence[int],
+        total_blocks: int,
+        frag_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        mean_gap_blocks: float = 4.0,
+    ) -> "FileSystemLayout":
+        """Allocate one file per entry of ``file_sizes_blocks``.
+
+        File ids are assigned in order (0, 1, ...), matching the indices
+        workload generators use.
+        """
+        if len(file_sizes_blocks) == 0:
+            raise LayoutError("cannot build a layout with zero files")
+        allocator = SequentialAllocator(
+            total_blocks,
+            frag_prob=frag_prob,
+            rng=rng,
+            mean_gap_blocks=mean_gap_blocks,
+        )
+        files = [
+            FileInfo(file_id, allocator.allocate(int(size)))
+            for file_id, size in enumerate(file_sizes_blocks)
+        ]
+        return cls(files, total_blocks)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def n_files(self) -> int:
+        """Number of files in the layout."""
+        return len(self.files)
+
+    def file(self, file_id: int) -> FileInfo:
+        """File metadata by id."""
+        if not 0 <= file_id < len(self.files):
+            raise LayoutError(f"unknown file id {file_id}")
+        return self.files[file_id]
+
+    def file_runs(self, file_id: int) -> List[Tuple[int, int]]:
+        """The whole file as contiguous logical (start, length) runs."""
+        info = self.file(file_id)
+        return info.logical_runs(0, info.size_blocks)
+
+    def partial_runs(
+        self, file_id: int, offset_blocks: int, n_blocks: int
+    ) -> List[Tuple[int, int]]:
+        """Logical runs for a partial-file access (file-server style)."""
+        return self.file(file_id).logical_runs(offset_blocks, n_blocks)
+
+    @property
+    def avg_file_blocks(self) -> float:
+        """Mean file size in blocks."""
+        return self.footprint_blocks / len(self.files)
+
+    @property
+    def fragmentation_observed(self) -> float:
+        """Fraction of intra-file boundaries that are discontiguous."""
+        boundaries = 0
+        breaks = 0
+        for info in self.files:
+            boundaries += info.size_blocks - 1
+            breaks += info.n_fragments - 1
+        return breaks / boundaries if boundaries else 0.0

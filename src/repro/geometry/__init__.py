@@ -1,0 +1,6 @@
+"""Disk geometry: mapping block addresses to physical positions."""
+
+from repro.geometry.disk_geometry import DiskGeometry
+from repro.geometry.zones import Zone, ZonedGeometry
+
+__all__ = ["DiskGeometry", "Zone", "ZonedGeometry"]

@@ -1,0 +1,71 @@
+"""Logical-to-physical address translation for a single disk.
+
+The model uses classic CHS geometry with a constant sectors-per-track
+figure (the 36Z15 datasheet average). The quantity the rest of the
+simulator actually needs is the *cylinder* of a block — seek distances
+and LOOK ordering are cylinder-based — plus track/rotation figures for
+transfer-time computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DiskParams
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True)
+class BlockPosition:
+    """Physical coordinates of a disk block."""
+
+    cylinder: int
+    track: int
+    sector: int
+
+
+class DiskGeometry:
+    """Translate block numbers to physical positions on one disk."""
+
+    def __init__(self, disk: DiskParams, block_size: int):
+        if block_size % disk.sector_size:
+            raise AddressError(
+                f"block size {block_size} not a multiple of sector "
+                f"size {disk.sector_size}"
+            )
+        self.disk = disk
+        self.block_size = block_size
+        self.sectors_per_block = block_size // disk.sector_size
+        self.blocks_per_track = disk.sectors_per_track // self.sectors_per_block
+        if self.blocks_per_track == 0:
+            raise AddressError("block larger than a track is not supported")
+        self.blocks_per_cylinder = self.blocks_per_track * disk.tracks_per_cylinder
+        self.n_blocks = disk.capacity_bytes // block_size
+        self.n_cylinders = -(-self.n_blocks // self.blocks_per_cylinder)
+
+    def check_block(self, block: int) -> None:
+        """Raise :class:`AddressError` if ``block`` is out of range."""
+        if not 0 <= block < self.n_blocks:
+            raise AddressError(
+                f"block {block} outside [0, {self.n_blocks}) on this disk"
+            )
+
+    def cylinder_of(self, block: int) -> int:
+        """Cylinder containing ``block`` (no bounds check: hot path)."""
+        return block // self.blocks_per_cylinder
+
+    def position_of(self, block: int) -> BlockPosition:
+        """Full physical coordinates of ``block`` (bounds-checked)."""
+        self.check_block(block)
+        cylinder, within = divmod(block, self.blocks_per_cylinder)
+        track, block_in_track = divmod(within, self.blocks_per_track)
+        return BlockPosition(cylinder, track, block_in_track * self.sectors_per_block)
+
+    def seek_distance(self, block_a: int, block_b: int) -> int:
+        """Cylinder distance between two blocks."""
+        return abs(self.cylinder_of(block_a) - self.cylinder_of(block_b))
+
+    def clamp_run(self, start: int, n_blocks: int) -> int:
+        """Largest run length from ``start`` that stays on the disk."""
+        self.check_block(start)
+        return min(n_blocks, self.n_blocks - start)

@@ -1,0 +1,148 @@
+"""Zoned bit recording (ZBR): more sectors on outer tracks.
+
+Real drives (the Ultrastar 36Z15 included) pack more sectors per track
+on the longer outer cylinders, so the media rate falls from the outer
+to the inner edge — datasheet "max/min sustained transfer". The base
+simulator uses the constant average (440 sectors/track, 54 MB/s), which
+is what the paper's formula assumes; this module provides the zoned
+refinement for sensitivity studies.
+
+A :class:`ZonedGeometry` divides the cylinders into equal-width zones
+whose sectors-per-track interpolate linearly between ``outer`` and
+``inner``; total capacity is preserved relative to the average figure
+within rounding. Block addressing fills zones outer-first, matching how
+drives number LBAs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import DiskParams
+from repro.errors import AddressError, ConfigError
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One recording zone: a contiguous cylinder range at a fixed
+    sectors-per-track."""
+
+    first_cylinder: int
+    n_cylinders: int
+    sectors_per_track: int
+    first_block: int
+    n_blocks: int
+
+    @property
+    def end_block(self) -> int:
+        return self.first_block + self.n_blocks
+
+
+class ZonedGeometry:
+    """Multi-zone LBA → (cylinder, zone) translation."""
+
+    def __init__(
+        self,
+        disk: DiskParams,
+        block_size: int,
+        n_zones: int = 8,
+        outer_sectors: int = 504,
+        inner_sectors: int = 376,
+    ):
+        if n_zones < 1:
+            raise ConfigError(f"need >=1 zone, got {n_zones}")
+        if outer_sectors < inner_sectors:
+            raise ConfigError("outer tracks must hold >= inner tracks")
+        if block_size % disk.sector_size:
+            raise AddressError(
+                f"block size {block_size} not a multiple of sector size"
+            )
+        self.disk = disk
+        self.block_size = block_size
+        self.n_zones = n_zones
+        sectors_per_block = block_size // disk.sector_size
+
+        n_cylinders = disk.n_cylinders
+        base = n_cylinders // n_zones
+        extra = n_cylinders % n_zones
+
+        self.zones: List[Zone] = []
+        self._zone_starts: List[int] = []
+        first_cyl = 0
+        first_block = 0
+        for z in range(n_zones):
+            width = base + (1 if z < extra else 0)
+            if n_zones == 1:
+                spt = (outer_sectors + inner_sectors) // 2
+            else:
+                frac = z / (n_zones - 1)
+                spt = round(outer_sectors - frac * (outer_sectors - inner_sectors))
+            blocks_per_track = spt // sectors_per_block
+            if blocks_per_track == 0:
+                raise ConfigError("zone tracks too small for the block size")
+            blocks_per_cyl = blocks_per_track * disk.tracks_per_cylinder
+            n_blocks = width * blocks_per_cyl
+            self.zones.append(
+                Zone(first_cyl, width, spt, first_block, n_blocks)
+            )
+            self._zone_starts.append(first_block)
+            first_cyl += width
+            first_block += n_blocks
+        self.n_blocks = first_block
+        self.n_cylinders = n_cylinders
+
+    # -- queries -------------------------------------------------------
+
+    def zone_of(self, block: int) -> Zone:
+        """The recording zone containing ``block``."""
+        if not 0 <= block < self.n_blocks:
+            raise AddressError(f"block {block} outside [0, {self.n_blocks})")
+        idx = bisect.bisect_right(self._zone_starts, block) - 1
+        return self.zones[idx]
+
+    def cylinder_of(self, block: int) -> int:
+        """Cylinder containing ``block`` (zone-aware)."""
+        zone = self.zone_of(block)
+        sectors_per_block = self.block_size // self.disk.sector_size
+        blocks_per_track = zone.sectors_per_track // sectors_per_block
+        blocks_per_cyl = blocks_per_track * self.disk.tracks_per_cylinder
+        return zone.first_cylinder + (block - zone.first_block) // blocks_per_cyl
+
+    def transfer_rate_bytes_ms(self, block: int) -> float:
+        """Media rate at ``block``'s zone.
+
+        The datasheet's sustained rate corresponds to the *average*
+        sectors-per-track; each zone's rate scales proportionally
+        (more sectors pass under the head per revolution).
+        """
+        zone = self.zone_of(block)
+        avg_spt = sum(z.sectors_per_track * z.n_cylinders for z in self.zones) / max(
+            1, sum(z.n_cylinders for z in self.zones)
+        )
+        return self.disk.transfer_rate_bytes_ms * (
+            zone.sectors_per_track / avg_spt
+        )
+
+    def transfer_time(self, start_block: int, n_blocks: int) -> float:
+        """Zone-aware transfer time for a run (split at zone edges)."""
+        if n_blocks < 0:
+            raise ConfigError(f"negative block count {n_blocks}")
+        total = 0.0
+        block = start_block
+        remaining = n_blocks
+        while remaining > 0:
+            zone = self.zone_of(block)
+            in_zone = min(remaining, zone.end_block - block)
+            total += in_zone * self.block_size / self.transfer_rate_bytes_ms(block)
+            block += in_zone
+            remaining -= in_zone
+        return total
+
+    @property
+    def outer_to_inner_ratio(self) -> float:
+        """Rate ratio between the outermost and innermost zones."""
+        return (
+            self.zones[0].sectors_per_track / self.zones[-1].sectors_per_track
+        )

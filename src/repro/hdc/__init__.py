@@ -1,0 +1,14 @@
+"""Host-side HDC management: profiling, planning, runtime control (§5)."""
+
+from repro.hdc.profiler import BlockAccessProfiler
+from repro.hdc.planner import plan_pin_sets, HdcPlan
+from repro.hdc.manager import HdcManager
+from repro.hdc.victim import VictimCacheManager
+
+__all__ = [
+    "BlockAccessProfiler",
+    "plan_pin_sets",
+    "HdcPlan",
+    "HdcManager",
+    "VictimCacheManager",
+]

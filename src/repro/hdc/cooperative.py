@@ -1,0 +1,172 @@
+"""Cooperative HDC caching across controllers (an extension).
+
+§5: "More complex caching policies could be implemented (e.g.
+cooperative caching between controllers), but our simple strategy
+already provides significant gains". This module implements that more
+complex strategy so the simple one can be compared against it.
+
+In cooperative mode the *array-wide* hottest blocks are pinned, even
+when one disk holds far more hot blocks than its own HDC region fits:
+a block of disk ``d`` may be pinned in the region of another
+controller ``c``. Reads are intercepted at the host: blocks resident in
+any cooperative region are served with a bus transfer from the holding
+controller (no media access anywhere); only the remainder is sent to
+disk ``d``.
+
+Writes invalidate remote copies (the home disk's media copy becomes
+the only authority), keeping coherence trivially correct — remote
+cooperative entries are read-only replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Counter as CounterT, Dict, List, Optional, Tuple
+
+from repro.array.array import DiskArray
+from repro.array.striping import StripingLayout
+from repro.controller.commands import DiskCommand
+from repro.errors import ConfigError
+
+
+def plan_cooperative_pins(
+    counts: CounterT[int],
+    striping: StripingLayout,
+    hdc_blocks_per_disk: int,
+) -> Dict[int, List[int]]:
+    """Assign the globally hottest blocks to controller regions.
+
+    Home-disk regions are preferred (a home pin also serves writes);
+    when a home region overflows, the block spills to the controller
+    with the most free space. Returns {controller: [logical blocks]}.
+    """
+    if hdc_blocks_per_disk < 0:
+        raise ConfigError("negative HDC capacity")
+    n = striping.n_disks
+    assignment: Dict[int, List[int]] = {c: [] for c in range(n)}
+    free = {c: hdc_blocks_per_disk for c in range(n)}
+    total_capacity = n * hdc_blocks_per_disk
+    hottest = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    placed = 0
+    for lb, _count in hottest:
+        if placed >= total_capacity:
+            break
+        home, _phys = striping.locate(lb)
+        if free[home] > 0:
+            target = home
+        else:
+            target = max(free, key=lambda c: (free[c], -c))
+            if free[target] <= 0:
+                break
+        assignment[target].append(lb)
+        free[target] -= 1
+        placed += 1
+    return assignment
+
+
+class CooperativeHdc:
+    """Host-side directory of cooperatively pinned blocks."""
+
+    def __init__(self, array: DiskArray, assignment: Dict[int, List[int]]):
+        self.array = array
+        #: logical block -> controller holding it
+        self.directory: Dict[int, int] = {}
+        self.remote_hits = 0
+        self.home_hits = 0
+        self.invalidations = 0
+        for controller_id, blocks in assignment.items():
+            controller = array.controllers[controller_id]
+            phys_blocks = []
+            for lb in blocks:
+                home, phys = array.striping.locate(lb)
+                if home == controller_id:
+                    # home pins live in the controller's pinned region
+                    phys_blocks.append(phys)
+                self.directory[lb] = controller_id
+            if phys_blocks:
+                controller.pin_blocks(phys_blocks)
+        # remote replicas are tracked host-side only: the remote
+        # controller's memory is accounted by capacity in the planner.
+
+    def filter_read(
+        self, logical_start: int, n_blocks: int
+    ) -> Tuple[List[Tuple[int, int]], int]:
+        """Split a logical read into unpinned runs + directory hits.
+
+        Returns ``(runs_to_issue, blocks_served_from_hdc)``.
+        """
+        runs: List[Tuple[int, int]] = []
+        served = 0
+        run_start = None
+        run_len = 0
+        for lb in range(logical_start, logical_start + n_blocks):
+            holder = self.directory.get(lb)
+            if holder is None:
+                if run_start is None:
+                    run_start = lb
+                    run_len = 1
+                else:
+                    run_len += 1
+                continue
+            home, _ = self.array.striping.locate(lb)
+            if holder == home:
+                self.home_hits += 1
+            else:
+                self.remote_hits += 1
+            served += 1
+            if run_start is not None:
+                runs.append((run_start, run_len))
+                run_start = None
+        if run_start is not None:
+            runs.append((run_start, run_len))
+        return runs, served
+
+    def invalidate_on_write(self, logical_start: int, n_blocks: int) -> int:
+        """Drop remote replicas of written blocks (home pins absorb the
+        write inside the controller instead)."""
+        dropped = 0
+        for lb in range(logical_start, logical_start + n_blocks):
+            holder = self.directory.get(lb)
+            if holder is None:
+                continue
+            home, _ = self.array.striping.locate(lb)
+            if holder != home:
+                del self.directory[lb]
+                self.invalidations += 1
+                dropped += 1
+        return dropped
+
+    def submit_read(
+        self,
+        logical_start: int,
+        n_blocks: int,
+        stream_id: int = -1,
+        on_complete: Optional[callable] = None,
+    ) -> int:
+        """Issue a read with cooperative interception.
+
+        Blocks found in the directory cost one bus transfer from the
+        holding controller; the rest fan out normally. Returns the
+        number of blocks served from cooperative regions.
+        """
+        runs, served = self.filter_read(logical_start, n_blocks)
+        pending = len(runs) + (1 if served else 0)
+        if pending == 0:
+            if on_complete is not None:
+                self.array.sim.schedule(0.0, on_complete)
+            return served
+
+        def _one_done() -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0 and on_complete is not None:
+                on_complete()
+
+        if served:
+            block_size = self.array.controllers[0].block_size
+            self.array.bus.transfer(served * block_size, _one_done)
+        for start, length in runs:
+            self.array.submit_logical(
+                start, length, stream_id=stream_id,
+                on_complete=_one_done,
+            )
+        return served

@@ -1,0 +1,65 @@
+"""HDC as an array-wide victim cache (§5's alternative use).
+
+The paper notes the pin/unpin mechanism is general: "the host file
+system can use part of the disk controller caches as an array-wide
+victim cache for its buffer cache". This manager implements that
+policy over the replay stream: after each read access completes, its
+blocks are pinned; when a disk's HDC region is full, the
+least-recently-pinned clean block is unpinned to make room. Writes are
+never victim-cached (dirty blocks would block unpinning).
+
+Pinning a just-read block costs no media time — its data is in the
+controller cache already — so the manager pins instantaneously.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.array.array import DiskArray
+from repro.errors import CacheError
+from repro.workloads.trace import DiskAccess
+
+
+class VictimCacheManager:
+    """LRU pin/unpin policy over each controller's HDC region."""
+
+    def __init__(self, array: DiskArray, hdc_blocks_per_disk: int):
+        self.array = array
+        self.capacity = hdc_blocks_per_disk
+        self._lru: Dict[int, "OrderedDict[int, None]"] = {
+            d: OrderedDict() for d in range(array.n_disks)
+        }
+        self.pins = 0
+        self.unpins = 0
+
+    def on_record_complete(self, record: DiskAccess) -> None:
+        """Replay hook: victim-cache the blocks of a finished read."""
+        if record.is_write or self.capacity <= 0:
+            return
+        striping = self.array.striping
+        for lb in record.blocks():
+            disk, phys = striping.locate(lb)
+            self._pin_one(disk, phys)
+
+    def _pin_one(self, disk: int, phys: int) -> None:
+        lru = self._lru[disk]
+        ctrl = self.array.controllers[disk]
+        if phys in lru:
+            lru.move_to_end(phys)
+            return
+        if len(lru) >= self.capacity:
+            victim, _sentinel = lru.popitem(last=False)
+            try:
+                ctrl.unpin_blocks([victim])
+            except CacheError:
+                # Dirty victim (a write slipped in): flush-less unpin is
+                # illegal, so simply keep it pinned and skip this insert.
+                lru[victim] = None
+                lru.move_to_end(victim, last=False)
+                return
+            self.unpins += 1
+        ctrl.pin_blocks([phys])
+        lru[phys] = None
+        self.pins += 1

@@ -1,0 +1,6 @@
+"""Host side: system assembly and closed-loop trace replay."""
+
+from repro.host.system import System
+from repro.host.streams import ReplayDriver
+
+__all__ = ["System", "ReplayDriver"]

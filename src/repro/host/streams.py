@@ -1,0 +1,181 @@
+"""Closed-loop trace replay with ``t`` concurrent I/O streams (§6.1/§6.3).
+
+"The logs are replayed in the simulator as fast as possible to
+determine the maximum throughput achievable by each system": all
+streams start at time zero; each stream takes the next trace record the
+moment its previous record completes. A record completes when the last
+of its disk commands completes.
+
+Per record, the driver performs the host-side decomposition:
+
+1. each logical run is mapped through the striping layout into
+   physically contiguous per-disk runs;
+2. the device-driver coalescer probabilistically merges/splits each run
+   into disk commands (87% per-boundary merge probability by default);
+3. commands targeting *different* disks are issued concurrently (the
+   striping parallelism the array exists for), while same-disk commands
+   of one record are issued in order, each after its predecessor
+   completes — they model OS requests separated in time (the ones the
+   driver failed to coalesce), which is what lets a predecessor's
+   read-ahead serve its successor from the controller cache.
+
+Concurrent *identical* reads are merged: when two streams request the
+same blocks while the first request is still in flight, the second
+waits for the first instead of issuing duplicate disk commands —
+exactly what the host page cache does (the second reader blocks on the
+locked page). Without this, high stream counts would flood the
+controllers with duplicate work no real host generates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.controller.commands import DiskCommand
+from repro.errors import WorkloadError
+from repro.host.system import System
+from repro.oscache.coalesce import Coalescer
+from repro.workloads.trace import DiskAccess, Trace
+
+
+class ReplayDriver:
+    """Replays a trace against a :class:`~repro.host.system.System`."""
+
+    def __init__(
+        self,
+        system: System,
+        trace: Trace,
+        n_streams: Optional[int] = None,
+        coalesce_prob: Optional[float] = None,
+        on_record_complete: Optional[Callable[[DiskAccess], None]] = None,
+    ):
+        if len(trace) == 0:
+            raise WorkloadError("cannot replay an empty trace")
+        self.system = system
+        self.trace = trace
+        self.n_streams = n_streams if n_streams is not None else trace.meta.n_streams
+        if self.n_streams < 1:
+            raise WorkloadError(f"need >=1 stream, got {self.n_streams}")
+        prob = coalesce_prob if coalesce_prob is not None else trace.meta.coalesce_prob
+        self.coalescer = Coalescer(
+            prob, rng=system.streams.stream("host.coalesce")
+        )
+        self.on_record_complete = on_record_complete
+        self._next_index = 0
+        self.records_completed = 0
+        self.commands_issued = 0
+        self.reads_merged = 0
+        self.finish_time: float = 0.0
+        #: Issue-to-completion latency of every record, in ms.
+        self.record_latencies_ms: List[float] = []
+        # in-flight read runs -> stream ids waiting for that read
+        self._inflight: dict = {}
+
+    # -- public API ---------------------------------------------------
+
+    def run(self) -> float:
+        """Replay the whole trace; returns the total I/O time in ms."""
+        sim = self.system.sim
+        start = sim.now
+        for stream_id in range(min(self.n_streams, len(self.trace))):
+            self._start_next(stream_id)
+        # Step until every record completes rather than draining the
+        # queue: periodic background activity (e.g. HDC's 30-second
+        # flush timer) keeps rescheduling itself and would otherwise
+        # prevent the run from ever terminating.
+        total = len(self.trace)
+        while self.records_completed < total:
+            if not sim.step():
+                raise WorkloadError(
+                    f"replay stalled: {self.records_completed}/{total} "
+                    "records completed (event queue drained early)"
+                )
+        self.finish_time = sim.now
+        return sim.now - start
+
+    # -- stream engine --------------------------------------------------
+
+    def _start_next(self, stream_id: int) -> None:
+        if self._next_index >= len(self.trace):
+            return
+        record = self.trace[self._next_index]
+        self._next_index += 1
+        self._issue_record(record, stream_id)
+
+    def _issue_record(self, record: DiskAccess, stream_id: int) -> None:
+        issued_at = self.system.sim.now
+        # Page-cache read merging: ride an identical in-flight read.
+        key = record.runs if not record.is_write else None
+        if key is not None:
+            waiters = self._inflight.get(key)
+            if waiters is not None:
+                waiters.append((record, stream_id, issued_at))
+                self.reads_merged += 1
+                return
+            self._inflight[key] = []
+
+        commands = self._decompose(record, stream_id)
+        remaining = len(commands)
+
+        def _all_done() -> None:
+            self._note_latency(issued_at)
+            self._record_done(record, stream_id)
+            if key is not None:
+                for waiting_record, waiting_stream, waited_since in (
+                    self._inflight.pop(key, ())
+                ):
+                    self._note_latency(waited_since)
+                    self._record_done(waiting_record, waiting_stream)
+
+        # Group by disk: chains run sequentially, disks in parallel.
+        per_disk: dict = {}
+        for cmd in commands:
+            per_disk.setdefault(cmd.disk_id, []).append(cmd)
+        self.commands_issued += len(commands)
+        submit = self.system.array.submit_command
+
+        def _make_chain(queue: List[DiskCommand]):
+            def _next_in_chain(_cmd: DiskCommand) -> None:
+                nonlocal remaining
+                remaining -= 1
+                if queue:
+                    submit(queue.pop(0))
+                if remaining == 0:
+                    _all_done()
+
+            return _next_in_chain
+
+        heads = []
+        for chain in per_disk.values():
+            advance = _make_chain(chain)
+            for cmd in chain:
+                cmd.on_complete = advance
+            heads.append(chain.pop(0))
+        for head in heads:
+            submit(head)
+
+    def _note_latency(self, issued_at: float) -> None:
+        self.record_latencies_ms.append(self.system.sim.now - issued_at)
+
+    def _record_done(self, record: DiskAccess, stream_id: int) -> None:
+        self.records_completed += 1
+        if self.on_record_complete is not None:
+            self.on_record_complete(record)
+        self._start_next(stream_id)
+
+    def _decompose(self, record: DiskAccess, stream_id: int) -> List[DiskCommand]:
+        striping = self.system.striping
+        commands: List[DiskCommand] = []
+        for lstart, llen in record.runs:
+            for run in striping.map_run(lstart, llen):
+                for start, length in self.coalescer.split(run.start, run.n_blocks):
+                    commands.append(
+                        DiskCommand(
+                            disk_id=run.disk,
+                            start_block=start,
+                            n_blocks=length,
+                            is_write=record.is_write,
+                            stream_id=stream_id,
+                        )
+                    )
+        return commands

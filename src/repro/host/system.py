@@ -1,0 +1,129 @@
+"""Assemble a complete simulated system from a :class:`SimConfig`.
+
+One :class:`System` owns the event engine, the shared bus, and one
+drive + controller pair per disk, wired according to the configured
+cache organization, read-ahead policy, queue discipline and HDC size.
+This is the single place where configuration turns into objects, so
+experiments and examples construct systems identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.array.array import DiskArray
+from repro.array.striping import StripingLayout
+from repro.bus.scsi import ScsiBus
+from repro.cache.base import ControllerCache
+from repro.cache.block import BlockCache
+from repro.cache.pinned import PinnedRegion
+from repro.cache.segment import SegmentCache
+from repro.config import CacheOrganization, ReadAheadKind, SimConfig
+from repro.controller.controller import DiskController
+from repro.disk.drive import DiskDrive
+from repro.errors import ConfigError
+from repro.mechanics.service import ServiceTimeModel
+from repro.readahead.base import ReadAheadPolicy
+from repro.readahead.bitmap import SequentialityBitmap
+from repro.readahead.blind import BlindReadAhead
+from repro.readahead.file_oriented import FileOrientedReadAhead
+from repro.readahead.none import NoReadAhead
+from repro.scheduling.factory import make_scheduler
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class System:
+    """A ready-to-run simulated host + array."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bitmaps: Optional[Sequence[SequentialityBitmap]] = None,
+        deterministic_rotation: bool = False,
+    ):
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.bus = ScsiBus(self.sim, config.bus)
+        self.striping = StripingLayout(
+            config.array.n_disks,
+            config.array.unit_blocks(config.block_size),
+            config.disk_blocks,
+        )
+        if config.readahead is ReadAheadKind.FILE_ORIENTED:
+            if bitmaps is None:
+                raise ConfigError(
+                    "file-oriented read-ahead requires per-disk bitmaps "
+                    "(build them with repro.fs.build_bitmaps)"
+                )
+            if len(bitmaps) != config.array.n_disks:
+                raise ConfigError(
+                    f"expected {config.array.n_disks} bitmaps, got {len(bitmaps)}"
+                )
+        self.bitmaps = list(bitmaps) if bitmaps is not None else None
+
+        controllers: List[DiskController] = []
+        for disk_id in range(config.array.n_disks):
+            service = ServiceTimeModel(
+                config.disk,
+                config.block_size,
+                rng=self.streams.stream(f"disk{disk_id}.rotation"),
+                deterministic_rotation=deterministic_rotation,
+            )
+            drive = DiskDrive(disk_id, self.sim, service)
+            cache = self._make_cache(disk_id)
+            readahead = self._make_readahead(disk_id)
+            controller = DiskController(
+                disk_id=disk_id,
+                sim=self.sim,
+                drive=drive,
+                scheduler=make_scheduler(config.scheduler),
+                cache=cache,
+                readahead=readahead,
+                bus=self.bus,
+                block_size=config.block_size,
+                pinned=PinnedRegion(config.hdc_blocks),
+                dispatch_recheck=config.dispatch_recheck,
+                anticipatory_wait_ms=config.anticipatory_wait_ms,
+            )
+            controllers.append(controller)
+        self.array = DiskArray(self.sim, self.striping, controllers, self.bus)
+
+    # -- component factories -----------------------------------------------
+
+    def _make_cache(self, disk_id: int) -> ControllerCache:
+        cfg = self.config
+        if cfg.cache.organization is CacheOrganization.SEGMENT:
+            return SegmentCache(
+                n_segments=cfg.effective_segments,
+                segment_blocks=cfg.cache.segment_blocks,
+                policy=cfg.cache.segment_policy,
+                rng=self.streams.stream(f"disk{disk_id}.segcache"),
+            )
+        return BlockCache(
+            capacity_blocks=cfg.effective_cache_blocks,
+            policy=cfg.cache.block_policy,
+        )
+
+    def _make_readahead(self, disk_id: int) -> ReadAheadPolicy:
+        cfg = self.config
+        ra_blocks = cfg.cache.segment_blocks
+        if cfg.readahead is ReadAheadKind.BLIND:
+            return BlindReadAhead(ra_blocks)
+        if cfg.readahead is ReadAheadKind.NONE:
+            return NoReadAhead()
+        assert self.bitmaps is not None
+        return FileOrientedReadAhead(self.bitmaps[disk_id], ra_blocks)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def controllers(self) -> List[DiskController]:
+        """The array's controllers, indexed by disk id."""
+        return self.array.controllers
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the event engine (delegates to the simulator)."""
+        return self.sim.run(until)

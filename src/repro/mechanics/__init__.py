@@ -1,0 +1,14 @@
+"""Disk mechanical models: seek, rotation and media transfer."""
+
+from repro.mechanics.seek import SeekModel, fit_seek_params
+from repro.mechanics.rotation import RotationModel
+from repro.mechanics.transfer import TransferModel
+from repro.mechanics.service import ServiceTimeModel
+
+__all__ = [
+    "SeekModel",
+    "fit_seek_params",
+    "RotationModel",
+    "TransferModel",
+    "ServiceTimeModel",
+]

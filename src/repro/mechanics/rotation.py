@@ -1,0 +1,38 @@
+"""Rotational-latency model.
+
+The simulator does not track absolute angular position (the paper's
+formula treats rotational latency as an additive term); instead each
+media operation samples a latency uniform on ``[0, rotation)``, whose
+mean is the datasheet's "average rotational latency" (2.0 ms at
+15000 rpm). A deterministic mode returning the mean is available for
+analytic validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DiskParams
+
+
+class RotationModel:
+    """Samples per-operation rotational latency for one disk."""
+
+    def __init__(
+        self,
+        disk: DiskParams,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = False,
+    ):
+        self.rotation_ms = disk.rotation_ms
+        self.mean_latency_ms = disk.avg_rotational_latency_ms
+        self.deterministic = deterministic
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def latency(self) -> float:
+        """One rotational-latency sample in ms."""
+        if self.deterministic:
+            return self.mean_latency_ms
+        return float(self._rng.random() * self.rotation_ms)

@@ -1,0 +1,68 @@
+"""Combined media service-time model: ``T(r) = seek + rotation + transfer``.
+
+This is the paper's §2.1 formula realised as an object that the disk
+drive queries once per media operation. It also exposes the analytic
+expectation used by the validation experiment and by
+:mod:`repro.analysis.utilization`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DiskParams
+from repro.geometry.disk_geometry import DiskGeometry
+from repro.mechanics.rotation import RotationModel
+from repro.mechanics.seek import SeekModel
+from repro.mechanics.transfer import TransferModel
+
+
+class ServiceTimeModel:
+    """Per-operation service times for one disk drive."""
+
+    def __init__(
+        self,
+        disk: DiskParams,
+        block_size: int,
+        rng: Optional[np.random.Generator] = None,
+        deterministic_rotation: bool = False,
+    ):
+        self.disk = disk
+        self.geometry = DiskGeometry(disk, block_size)
+        self.seek_model = SeekModel(disk.seek)
+        self.rotation_model = RotationModel(
+            disk, rng=rng, deterministic=deterministic_rotation
+        )
+        self.transfer_model = TransferModel(disk, block_size, self.geometry)
+        self.command_overhead_ms = disk.command_overhead_ms
+
+    def service_time(self, from_block: int, start_block: int, n_blocks: int) -> float:
+        """Sampled media time to move from ``from_block`` and read/write
+        ``n_blocks`` starting at ``start_block``."""
+        distance = self.geometry.seek_distance(from_block, start_block)
+        return (
+            self.command_overhead_ms
+            + self.seek_model.seek_time(distance)
+            + self.rotation_model.latency()
+            + self.transfer_model.transfer_time(n_blocks, start_block)
+        )
+
+    def expected_service_time(self, n_blocks: int, seek_distance: Optional[int] = None) -> float:
+        """Analytic expectation of :meth:`service_time`.
+
+        With ``seek_distance=None`` the drive's uniform-random average
+        seek is used — this is the closed-form the paper's formula
+        describes with "average seek time".
+        """
+        if seek_distance is None:
+            seek = self.seek_model.average_seek_time(self.geometry.n_cylinders)
+        else:
+            seek = self.seek_model.seek_time(seek_distance)
+        return (
+            self.command_overhead_ms
+            + seek
+            + self.rotation_model.mean_latency_ms
+            + self.transfer_model.transfer_time(n_blocks)
+        )

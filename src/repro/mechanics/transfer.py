@@ -1,0 +1,45 @@
+"""Media transfer-time model.
+
+Transfer of ``r`` blocks takes ``r * S / xfer_rate`` (the paper's
+formula), plus one extra full-rotation track-switch penalty is *not*
+modelled separately — the constant ``transfer_rate`` is the sustained
+rate, which already amortises head/track switches on the 36Z15
+datasheet figure. A ``track_switch_ms`` hook is provided for
+sensitivity studies but defaults to zero to match the paper's model.
+"""
+
+from __future__ import annotations
+
+from repro.config import DiskParams
+from repro.errors import ConfigError
+from repro.geometry.disk_geometry import DiskGeometry
+
+
+class TransferModel:
+    """Computes media transfer times for block runs on one disk."""
+
+    def __init__(
+        self,
+        disk: DiskParams,
+        block_size: int,
+        geometry: DiskGeometry = None,
+        track_switch_ms: float = 0.0,
+    ):
+        if track_switch_ms < 0:
+            raise ConfigError("track_switch_ms must be non-negative")
+        self.block_size = block_size
+        self.rate_bytes_ms = disk.transfer_rate_bytes_ms
+        self.track_switch_ms = track_switch_ms
+        self.geometry = geometry
+
+    def transfer_time(self, n_blocks: int, start_block: int = 0) -> float:
+        """Time in ms to stream ``n_blocks`` off (or onto) the media."""
+        if n_blocks < 0:
+            raise ConfigError(f"negative block count {n_blocks}")
+        base = n_blocks * self.block_size / self.rate_bytes_ms
+        if self.track_switch_ms and self.geometry is not None and n_blocks > 0:
+            per_track = self.geometry.blocks_per_track
+            first = start_block % per_track
+            switches = (first + n_blocks - 1) // per_track
+            base += switches * self.track_switch_ms
+        return base

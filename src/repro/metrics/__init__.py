@@ -1,0 +1,16 @@
+"""Result collection and plain-text reporting."""
+
+from repro.metrics.collector import RunResult, collect_run_result
+from repro.metrics.sampling import LoadSample, QueueDepthSampler
+from repro.metrics.ascii_chart import render_chart, render_series_result
+from repro.metrics.report import format_table
+
+__all__ = [
+    "RunResult",
+    "collect_run_result",
+    "format_table",
+    "LoadSample",
+    "QueueDepthSampler",
+    "render_chart",
+    "render_series_result",
+]

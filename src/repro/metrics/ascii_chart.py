@@ -1,0 +1,103 @@
+"""Plain-text line charts for experiment series.
+
+There is no plotting stack in the offline environment, so the CLI can
+render any :class:`~repro.experiments.base.SeriesResult` as an ASCII
+chart (``repro-exp fig05 --chart``). One character column per x value
+group, one glyph per series, a left-hand y-axis with min/max labels —
+enough to eyeball the paper's curve shapes in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+GLYPHS = "ox+*#@%&"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+
+
+def render_chart(
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    Non-finite points (NaN from infeasible configurations) are simply
+    not drawn, mirroring how the paper's FOR+HDC curve stops early.
+    """
+    if height < 3 or width < 8:
+        raise ReproError("chart needs height >= 3 and width >= 8")
+    if not series:
+        raise ReproError("no series to chart")
+    all_values = []
+    for values in series.values():
+        all_values.extend(_finite(values))
+    if not all_values:
+        raise ReproError("no finite data points to chart")
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    n_points = max(len(v) for v in series.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(i: int) -> int:
+        if n_points == 1:
+            return width // 2
+        return round(i * (width - 1) / (n_points - 1))
+
+    def row(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    legend = []
+    for idx, (name, values) in enumerate(series.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for i, value in enumerate(values):
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                continue
+            r, c = row(value), col(i)
+            grid[r][c] = glyph
+
+    label_hi = f"{hi:.3g}"
+    label_lo = f"{lo:.3g}"
+    pad = max(len(label_hi), len(label_lo))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            prefix = label_hi.rjust(pad)
+        elif r == height - 1:
+            prefix = label_lo.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(cells)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    x_left = str(x_values[0]) if len(x_values) else ""
+    x_right = str(x_values[-1]) if len(x_values) else ""
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * (pad + 2) + x_left + " " * gap + x_right)
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_series_result(result, height: int = 12, width: int = 64) -> str:
+    """Chart a :class:`~repro.experiments.base.SeriesResult`."""
+    return render_chart(
+        result.x_values,
+        result.series,
+        height=height,
+        width=width,
+        title=f"{result.exp_id}: {result.title}",
+    )

@@ -1,0 +1,109 @@
+"""Aggregate a finished replay into one :class:`RunResult` record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.base import CacheStats
+from repro.controller.stats import ControllerStats
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.units import MS_PER_S
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment reports about one simulated run."""
+
+    io_time_ms: float
+    records: int
+    commands: int
+    blocks_requested: int
+    block_size: int
+    controller: ControllerStats
+    cache: CacheStats
+    disk_utilizations: List[float] = field(default_factory=list)
+    bus_utilization: float = 0.0
+    #: Record-level issue-to-completion latencies (ms), replay order.
+    record_latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def io_time_s(self) -> float:
+        """Total I/O time in seconds (the paper's Figs. 7-12 unit)."""
+        return self.io_time_ms / MS_PER_S
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Requested-data throughput in (decimal) MB/s."""
+        if self.io_time_ms <= 0:
+            return 0.0
+        return (self.blocks_requested * self.block_size) / (self.io_time_ms * 1000.0)
+
+    @property
+    def hdc_hit_rate(self) -> float:
+        """HDC hits over all block accesses (the paper's metric)."""
+        return self.controller.hdc_hit_rate
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Main controller-cache block hit rate."""
+        return self.cache.hit_rate
+
+    @property
+    def avg_disk_utilization(self) -> float:
+        """Mean media utilization across the array."""
+        if not self.disk_utilizations:
+            return 0.0
+        return sum(self.disk_utilizations) / len(self.disk_utilizations)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean media busy-time ratio (1.0 = perfectly balanced)."""
+        if not self.disk_utilizations:
+            return 1.0
+        mean = self.avg_disk_utilization
+        return max(self.disk_utilizations) / mean if mean > 0 else 1.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Record-latency percentile in ms (0 < percentile <= 100)."""
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if not self.record_latencies_ms:
+            return 0.0
+        ordered = sorted(self.record_latencies_ms)
+        idx = max(0, int(round(percentile / 100.0 * len(ordered))) - 1)
+        return ordered[idx]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean record latency in ms."""
+        if not self.record_latencies_ms:
+            return 0.0
+        return sum(self.record_latencies_ms) / len(self.record_latencies_ms)
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        """I/O-time improvement vs a baseline (paper's "% reduction")."""
+        if baseline.io_time_ms <= 0:
+            return 0.0
+        return 1.0 - self.io_time_ms / baseline.io_time_ms
+
+
+def collect_run_result(system: System, driver: ReplayDriver, elapsed_ms: float) -> RunResult:
+    """Build a :class:`RunResult` after ``driver.run()`` returned."""
+    array = system.array
+    ctrl = array.controller_stats()
+    return RunResult(
+        io_time_ms=elapsed_ms,
+        records=driver.records_completed,
+        commands=driver.commands_issued,
+        blocks_requested=ctrl.blocks_requested,
+        block_size=system.config.block_size,
+        controller=ctrl,
+        cache=array.cache_stats(),
+        disk_utilizations=[
+            c.drive.utilization(elapsed_ms) for c in array.controllers
+        ],
+        bus_utilization=system.bus.utilization(elapsed_ms),
+        record_latencies_ms=driver.record_latencies_ms,
+    )

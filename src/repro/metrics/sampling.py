@@ -1,0 +1,96 @@
+"""Periodic sampling of live system state during a replay.
+
+The paper explains striping-unit sweet spots through *load balance*
+("larger striping units lead to disk load unbalances", §6.3); this
+sampler makes that observable: it wakes at a fixed simulated-time
+interval and snapshots each disk's queue depth and busy flag, yielding
+per-disk load time series and an imbalance coefficient.
+
+The sampler is self-rescheduling, so stop it (:meth:`stop`) before
+draining the event queue outside a :class:`ReplayDriver` run —
+the driver itself terminates on record completion and is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+from repro.host.system import System
+
+
+@dataclass
+class LoadSample:
+    """One snapshot: per-disk outstanding work at a sim timestamp."""
+
+    time_ms: float
+    queue_depths: List[int] = field(default_factory=list)
+    busy_flags: List[bool] = field(default_factory=list)
+
+    @property
+    def outstanding(self) -> List[int]:
+        """Queued + in-service operations per disk."""
+        return [
+            q + (1 if b else 0)
+            for q, b in zip(self.queue_depths, self.busy_flags)
+        ]
+
+
+class QueueDepthSampler:
+    """Samples controller queues every ``interval_ms`` of simulated time."""
+
+    def __init__(self, system: System, interval_ms: float = 50.0):
+        if interval_ms <= 0:
+            raise ConfigError(f"interval must be positive, got {interval_ms}")
+        self.system = system
+        self.interval_ms = interval_ms
+        self.samples: List[LoadSample] = []
+        self._stopped = False
+        self._timer = system.sim.schedule(interval_ms, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        controllers = self.system.controllers
+        self.samples.append(
+            LoadSample(
+                time_ms=self.system.sim.now,
+                queue_depths=[c.queue_length for c in controllers],
+                busy_flags=[c.drive.busy for c in controllers],
+            )
+        )
+        self._timer = self.system.sim.schedule(self.interval_ms, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling and cancel the pending wake-up."""
+        self._stopped = True
+        if self._timer is not None:
+            self.system.sim.cancel(self._timer)
+            self._timer = None
+
+    # -- aggregates --------------------------------------------------------
+
+    def mean_outstanding_per_disk(self) -> List[float]:
+        """Time-averaged outstanding operations, per disk."""
+        if not self.samples:
+            return []
+        n_disks = len(self.samples[0].queue_depths)
+        totals = [0.0] * n_disks
+        for sample in self.samples:
+            for i, value in enumerate(sample.outstanding):
+                totals[i] += value
+        return [t / len(self.samples) for t in totals]
+
+    def imbalance(self) -> float:
+        """Max/mean of time-averaged per-disk load (1.0 = balanced).
+
+        Returns 1.0 when there were no samples or no load at all.
+        """
+        means = self.mean_outstanding_per_disk()
+        if not means:
+            return 1.0
+        avg = sum(means) / len(means)
+        if avg == 0:
+            return 1.0
+        return max(means) / avg

@@ -1,0 +1,18 @@
+"""Host OS storage stack pieces above the disk array.
+
+The paper instruments a real Linux host and logs *disk* accesses — the
+stream that survives the application cache and the file-system buffer
+cache. We reproduce that methodology: server-level workloads are pushed
+through :class:`~repro.oscache.buffer_cache.LRUBufferCache` (write-back
+with periodic sync) and
+:class:`~repro.oscache.prefetch.SequentialPrefetcher`, and the miss
+stream becomes the trace the disk simulator replays. The
+:class:`~repro.oscache.coalesce.Coalescer` models device-driver request
+coalescing with the paper's measured 87% probability.
+"""
+
+from repro.oscache.buffer_cache import LRUBufferCache
+from repro.oscache.prefetch import SequentialPrefetcher
+from repro.oscache.coalesce import Coalescer
+
+__all__ = ["LRUBufferCache", "SequentialPrefetcher", "Coalescer"]

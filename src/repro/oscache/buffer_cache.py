@@ -1,0 +1,93 @@
+"""Write-back LRU buffer cache (the host file-system cache).
+
+Used when deriving disk-level traces from server-level request streams:
+reads that hit here never reach the disk; writes are absorbed and only
+reach the disk when a dirty block is evicted or at a periodic sync
+(Unix's classic 30-second flush — the mechanism that merges repeated
+writes to one block, turning the file server's 34% write requests into
+~20% disk writes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+
+class LRUBufferCache:
+    """LRU over logical blocks with dirty tracking."""
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ConfigError(
+                f"buffer cache needs >=1 block, got {capacity_blocks}"
+            )
+        self.capacity_blocks = capacity_blocks
+        self._blocks: "OrderedDict[int, bool]" = OrderedDict()  # lb -> dirty
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.writebacks = 0
+
+    def read(self, logical_block: int) -> bool:
+        """Touch a block for reading; True on hit."""
+        if logical_block in self._blocks:
+            self._blocks.move_to_end(logical_block)
+            self.read_hits += 1
+            return True
+        self.read_misses += 1
+        return False
+
+    def insert(self, logical_block: int, dirty: bool = False) -> List[int]:
+        """Install a block; returns dirty blocks evicted (to write back)."""
+        evicted_dirty: List[int] = []
+        if logical_block in self._blocks:
+            self._blocks.move_to_end(logical_block)
+            if dirty:
+                self._blocks[logical_block] = True
+            return evicted_dirty
+        while len(self._blocks) >= self.capacity_blocks:
+            victim, was_dirty = self._blocks.popitem(last=False)
+            if was_dirty:
+                evicted_dirty.append(victim)
+                self.writebacks += 1
+        self._blocks[logical_block] = dirty
+        return evicted_dirty
+
+    def write(self, logical_block: int) -> Tuple[bool, List[int]]:
+        """Write a block (write-allocate).
+
+        Returns ``(hit, evicted_dirty_blocks)``. The write itself never
+        reaches the disk here — only evictions and syncs produce disk
+        writes.
+        """
+        if logical_block in self._blocks:
+            self._blocks.move_to_end(logical_block)
+            self._blocks[logical_block] = True
+            self.write_hits += 1
+            return True, []
+        self.write_misses += 1
+        return False, self.insert(logical_block, dirty=True)
+
+    def sync(self) -> List[int]:
+        """Flush: return all dirty blocks (now clean), in LRU order."""
+        dirty = [lb for lb, d in self._blocks.items() if d]
+        for lb in dirty:
+            self._blocks[lb] = False
+        self.writebacks += len(dirty)
+        return dirty
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, logical_block: int) -> bool:
+        return logical_block in self._blocks
+
+    @property
+    def read_hit_rate(self) -> float:
+        """Read hit fraction."""
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0

@@ -1,0 +1,80 @@
+"""OS sequential prefetching (§2.3).
+
+UNIX-like file systems ramp the prefetch window while a file is read
+sequentially (doubling up to 64 KB in Linux) and collapse it on random
+accesses. The prefetcher operates at the *file* level: given a read of
+file blocks, it answers how many blocks the OS would actually request
+from storage.
+
+Two modes:
+
+* ``perfect=True`` — the paper's synthetic-workload assumption: the OS
+  prefetches the whole file on first access.
+* adaptive — the ramped window used when deriving server traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+class _FileState:
+    __slots__ = ("next_offset", "window")
+
+    def __init__(self, initial_window: int):
+        self.next_offset = 0
+        self.window = initial_window
+
+
+class SequentialPrefetcher:
+    """Per-file adaptive prefetch-window tracker."""
+
+    def __init__(
+        self,
+        max_window_blocks: int = 16,
+        initial_window_blocks: int = 1,
+        perfect: bool = False,
+    ):
+        if max_window_blocks < 1 or initial_window_blocks < 1:
+            raise ConfigError("prefetch windows must be >=1 block")
+        if initial_window_blocks > max_window_blocks:
+            raise ConfigError("initial window cannot exceed the maximum")
+        self.max_window_blocks = max_window_blocks
+        self.initial_window_blocks = initial_window_blocks
+        self.perfect = perfect
+        self._state: Dict[int, _FileState] = {}
+
+    def fetch_size(self, file_id: int, offset: int, file_blocks: int) -> int:
+        """Blocks the OS requests for a read at ``offset`` of the file.
+
+        Never prefetches past the end of the file ("the file system does
+        not prefetch beyond the end of a file", §4).
+        """
+        if offset < 0 or offset >= file_blocks:
+            raise ConfigError(
+                f"offset {offset} outside file of {file_blocks} blocks"
+            )
+        remaining = file_blocks - offset
+        if self.perfect:
+            return remaining
+        state = self._state.get(file_id)
+        if state is None:
+            state = _FileState(self.initial_window_blocks)
+            self._state[file_id] = state
+        if offset == state.next_offset:
+            state.window = min(state.window * 2, self.max_window_blocks)
+        else:
+            state.window = self.initial_window_blocks
+        size = min(state.window, remaining)
+        state.next_offset = offset + size
+        return size
+
+    def forget(self, file_id: int) -> None:
+        """Drop per-file state (file closed)."""
+        self._state.pop(file_id, None)
+
+    def tracked_files(self) -> int:
+        """Number of files with live prefetch state."""
+        return len(self._state)

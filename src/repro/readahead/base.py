@@ -1,0 +1,33 @@
+"""Read-ahead policy interface.
+
+When a media read is about to be issued for a missing run
+``[start, start + n_requested)``, the controller asks its read-ahead
+policy how many blocks to actually read. The answer is a total run
+length (``>= n_requested``) — read-ahead always extends the run with
+physically consecutive blocks, because that is the only extension a
+disk can perform for free while the head is already positioned.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class ReadAheadPolicy(ABC):
+    """Decides the media-read length for a missing run."""
+
+    #: Human-readable policy name (used in reports).
+    name: str = "base"
+
+    @abstractmethod
+    def read_size(self, start: int, n_requested: int, disk_blocks: int) -> int:
+        """Total blocks to read from ``start``.
+
+        ``disk_blocks`` is the device size; implementations must clamp
+        so the run never crosses the end of the disk. The result is
+        always at least ``min(n_requested, disk_blocks - start)``.
+        """
+
+    @staticmethod
+    def _clamp(start: int, n_blocks: int, disk_blocks: int) -> int:
+        return max(0, min(n_blocks, disk_blocks - start))

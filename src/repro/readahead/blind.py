@@ -1,0 +1,31 @@
+"""Blind fixed-size read-ahead (the conventional policy, §2.1).
+
+On every miss the controller reads a full segment's worth of
+consecutive blocks (128 KB by default on the modelled drive),
+regardless of what those blocks contain. Useless blocks — blocks
+belonging to other files — inflate the transfer term of
+``T(r) = seek + rotation + r*S/rate`` and pollute the cache; that cost
+is exactly what FOR removes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.readahead.base import ReadAheadPolicy
+
+
+class BlindReadAhead(ReadAheadPolicy):
+    """Always read ``max(requested, readahead_blocks)`` blocks."""
+
+    name = "blind"
+
+    def __init__(self, readahead_blocks: int):
+        if readahead_blocks < 1:
+            raise ConfigError(
+                f"blind read-ahead needs >=1 block, got {readahead_blocks}"
+            )
+        self.readahead_blocks = readahead_blocks
+
+    def read_size(self, start: int, n_requested: int, disk_blocks: int) -> int:
+        want = max(n_requested, self.readahead_blocks)
+        return self._clamp(start, want, disk_blocks)

@@ -1,0 +1,20 @@
+"""Disabled read-ahead (the paper's "No-RA" baseline).
+
+The controller reads exactly the missing run. Good for tiny random
+files, terrible when the host issues a file's blocks as multiple
+commands that fail to coalesce — every one of them then pays a full
+positioning delay.
+"""
+
+from __future__ import annotations
+
+from repro.readahead.base import ReadAheadPolicy
+
+
+class NoReadAhead(ReadAheadPolicy):
+    """Read only what was requested."""
+
+    name = "none"
+
+    def read_size(self, start: int, n_requested: int, disk_blocks: int) -> int:
+        return self._clamp(start, n_requested, disk_blocks)

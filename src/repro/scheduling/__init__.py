@@ -1,0 +1,18 @@
+"""Controller request-queue disciplines (paper default: LOOK)."""
+
+from repro.scheduling.base import IOScheduler, QueuedRequest
+from repro.scheduling.fcfs import FCFSScheduler
+from repro.scheduling.look import LookScheduler
+from repro.scheduling.sstf import SSTFScheduler
+from repro.scheduling.cscan import CScanScheduler
+from repro.scheduling.factory import make_scheduler
+
+__all__ = [
+    "IOScheduler",
+    "QueuedRequest",
+    "FCFSScheduler",
+    "LookScheduler",
+    "SSTFScheduler",
+    "CScanScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,62 @@
+"""Circular SCAN (C-SCAN) queue discipline.
+
+The head sweeps upward only; when no request remains above, it jumps to
+the lowest pending cylinder and resumes. Gives more uniform response
+times than LOOK at slightly higher mean seek; included for the
+scheduler ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.scheduling.base import IOScheduler, QueuedRequest
+
+
+class CScanScheduler(IOScheduler):
+    """One-directional elevator with wrap-around."""
+
+    name = "cscan"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cylinders: List[int] = []
+        self._buckets: Dict[int, Deque[QueuedRequest]] = {}
+        self._count = 0
+
+    def _insert(self, req: QueuedRequest) -> None:
+        bucket = self._buckets.get(req.cylinder)
+        if bucket is None:
+            bisect.insort(self._cylinders, req.cylinder)
+            self._buckets[req.cylinder] = deque((req,))
+        else:
+            bucket.append(req)
+        self._count += 1
+
+    def _choose(self, head_cylinder: int) -> int:
+        idx = bisect.bisect_left(self._cylinders, head_cylinder)
+        if idx >= len(self._cylinders):
+            idx = 0  # wrap to the lowest pending cylinder
+        return self._cylinders[idx]
+
+    def peek(self, head_cylinder: int) -> Optional[QueuedRequest]:
+        if not self._count:
+            return None
+        return self._buckets[self._choose(head_cylinder)][0]
+
+    def pop(self, head_cylinder: int) -> Optional[QueuedRequest]:
+        if not self._count:
+            return None
+        target = self._choose(head_cylinder)
+        bucket = self._buckets[target]
+        req = bucket.popleft()
+        if not bucket:
+            del self._buckets[target]
+            self._cylinders.remove(target)
+        self._count -= 1
+        return req
+
+    def __len__(self) -> int:
+        return self._count

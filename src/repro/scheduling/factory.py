@@ -1,0 +1,27 @@
+"""Scheduler construction from configuration."""
+
+from __future__ import annotations
+
+from repro.config import SchedulerKind
+from repro.errors import ConfigError
+from repro.scheduling.base import IOScheduler
+from repro.scheduling.cscan import CScanScheduler
+from repro.scheduling.fcfs import FCFSScheduler
+from repro.scheduling.look import LookScheduler
+from repro.scheduling.sstf import SSTFScheduler
+
+_REGISTRY = {
+    SchedulerKind.LOOK: LookScheduler,
+    SchedulerKind.FCFS: FCFSScheduler,
+    SchedulerKind.SSTF: SSTFScheduler,
+    SchedulerKind.CSCAN: CScanScheduler,
+}
+
+
+def make_scheduler(kind: SchedulerKind) -> IOScheduler:
+    """Instantiate the queue discipline named by ``kind``."""
+    try:
+        cls = _REGISTRY[SchedulerKind(kind)]
+    except (KeyError, ValueError) as exc:
+        raise ConfigError(f"unknown scheduler kind {kind!r}") from exc
+    return cls()

@@ -1,0 +1,30 @@
+"""First-come-first-served queue discipline (baseline)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.scheduling.base import IOScheduler, QueuedRequest
+
+
+class FCFSScheduler(IOScheduler):
+    """Dispatch strictly in arrival order."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[QueuedRequest] = deque()
+
+    def _insert(self, req: QueuedRequest) -> None:
+        self._queue.append(req)
+
+    def pop(self, head_cylinder: int) -> Optional[QueuedRequest]:
+        return self._queue.popleft() if self._queue else None
+
+    def peek(self, head_cylinder: int) -> Optional[QueuedRequest]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)

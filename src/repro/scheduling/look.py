@@ -1,0 +1,85 @@
+"""LOOK elevator scheduling — the paper's controller discipline (§6.1).
+
+The head sweeps in one direction servicing the nearest pending request
+at or beyond the current cylinder; when no request remains in the sweep
+direction, the direction reverses (unlike SCAN, the head does not
+travel to the physical edge first).
+
+The pending set is kept in a ``SortedByCylinder`` structure implemented
+with ``bisect`` over a sorted list of cylinders, each bucketing FIFO
+entries — O(log n) insert/pop, which matters with hundreds of queued
+requests per disk at 1024 streams.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.scheduling.base import IOScheduler, QueuedRequest
+
+
+class LookScheduler(IOScheduler):
+    """Elevator (LOOK) discipline over request cylinders."""
+
+    name = "look"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cylinders: List[int] = []  # sorted, unique
+        self._buckets: Dict[int, Deque[QueuedRequest]] = {}
+        self._count = 0
+        self._direction = 1  # +1: sweeping toward higher cylinders
+
+    def _insert(self, req: QueuedRequest) -> None:
+        bucket = self._buckets.get(req.cylinder)
+        if bucket is None:
+            bisect.insort(self._cylinders, req.cylinder)
+            self._buckets[req.cylinder] = deque((req,))
+        else:
+            bucket.append(req)
+        self._count += 1
+
+    def _choose(self, head_cylinder: int, direction: int):
+        """(target cylinder, effective direction) for the next dispatch."""
+        idx = bisect.bisect_left(self._cylinders, head_cylinder)
+        if direction > 0:
+            if idx >= len(self._cylinders):  # nothing ahead: reverse
+                return self._choose(head_cylinder, -1)
+            return self._cylinders[idx], direction
+        # sweeping down: nearest cylinder <= head
+        if idx < len(self._cylinders) and self._cylinders[idx] == head_cylinder:
+            return head_cylinder, direction
+        if idx == 0:  # nothing below: reverse
+            return self._choose(head_cylinder, 1)
+        return self._cylinders[idx - 1], direction
+
+    def pop(self, head_cylinder: int) -> Optional[QueuedRequest]:
+        if not self._count:
+            return None
+        target, self._direction = self._choose(head_cylinder, self._direction)
+        return self._take_from(target)
+
+    def peek(self, head_cylinder: int) -> Optional[QueuedRequest]:
+        if not self._count:
+            return None
+        target, _direction = self._choose(head_cylinder, self._direction)
+        return self._buckets[target][0]
+
+    def _take_from(self, cylinder: int) -> QueuedRequest:
+        bucket = self._buckets[cylinder]
+        req = bucket.popleft()
+        if not bucket:
+            del self._buckets[cylinder]
+            self._cylinders.remove(cylinder)
+        self._count -= 1
+        return req
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def direction(self) -> int:
+        """Current sweep direction: +1 up, -1 down."""
+        return self._direction

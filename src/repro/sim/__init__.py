@@ -1,0 +1,16 @@
+"""Discrete-event simulation core.
+
+This subpackage provides the minimal machinery every other component is
+built on: an event heap with a monotonically advancing clock
+(:class:`~repro.sim.engine.Simulator`), FIFO resources for modelling
+contended components such as the SCSI bus
+(:class:`~repro.sim.resources.Resource`), and deterministic named random
+streams (:class:`~repro.sim.rng.RandomStreams`).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Event", "EventQueue", "Simulator", "Resource", "RandomStreams"]

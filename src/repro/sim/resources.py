@@ -1,0 +1,102 @@
+"""Contended resources for the event engine.
+
+:class:`Resource` models a server with a fixed number of slots and a FIFO
+wait queue — we use one (single-slot) instance for the shared Ultra160
+SCSI bus, where each transfer holds the bus for ``bytes/rate +
+overhead``. Utilisation accounting is built in so experiments can report
+bus busy time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Resource:
+    """A ``capacity``-slot FIFO resource.
+
+    Users call :meth:`acquire` with a callback; the callback fires (via a
+    zero-delay event) once a slot is free and the caller must later call
+    :meth:`release` exactly once.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Tuple[Callable[..., Any], tuple]] = deque()
+        # utilisation accounting
+        self.busy_time: float = 0.0
+        self._busy_since: float = 0.0
+        self.total_acquisitions: int = 0
+        self.max_queue_len: int = 0
+
+    def acquire(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Request a slot; ``fn(*args)`` runs when one is granted."""
+        if self._in_use < self.capacity:
+            self._grant(fn, args)
+        else:
+            self._waiters.append((fn, args))
+            if len(self._waiters) > self.max_queue_len:
+                self.max_queue_len = len(self._waiters)
+
+    def _grant(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        self.total_acquisitions += 1
+        self.sim.schedule(0.0, fn, *args)
+
+    def release(self) -> None:
+        """Return a slot; the oldest waiter (if any) is granted next."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0:
+            self.busy_time += self.sim.now - self._busy_since
+        if self._waiters and self._in_use < self.capacity:
+            fn, args = self._waiters.popleft()
+            self._grant(fn, args)
+
+    def hold(self, duration: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Acquire, hold for ``duration`` ms, release, then run ``fn``.
+
+        This is the common pattern for bus transfers: the resource is
+        occupied for the transfer time and the completion continuation
+        runs immediately after release.
+        """
+
+        def _start() -> None:
+            def _finish() -> None:
+                self.release()
+                fn(*args)
+
+            self.sim.schedule(duration, _finish)
+
+        self.acquire(_start)
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently occupied slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of callers waiting for a slot."""
+        return len(self._waiters)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` ms during which the resource was busy."""
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._in_use > 0:
+            busy += self.sim.now - self._busy_since
+        return min(1.0, busy / elapsed)

@@ -1,0 +1,82 @@
+"""Unit helpers and physical constants used throughout the simulator.
+
+The simulator uses a small, consistent set of units:
+
+* **time**: milliseconds (float)
+* **space**: bytes (int); disk/cache sizes are expressed in bytes and
+  converted to blocks where needed
+* **rates**: bytes per millisecond internally; public configuration uses
+  MB/s and is converted with :func:`mb_per_s_to_bytes_per_ms`
+
+Keeping conversion logic here avoids the classic "is this KB or KiB"
+ambiguity: like the paper (and disk-drive datasheets), capacities use
+binary units (KB = 1024 bytes) while transfer rates use decimal
+megabytes (1 MB/s = 10^6 bytes/s).
+"""
+
+from __future__ import annotations
+
+#: One binary kilobyte (capacities, block sizes, cache sizes).
+KB = 1024
+#: One binary megabyte.
+MB = 1024 * KB
+#: One binary gigabyte.
+GB = 1024 * MB
+
+#: Decimal megabyte used for transfer rates (datasheet convention).
+MB_DECIMAL = 1_000_000
+
+#: Milliseconds per second.
+MS_PER_S = 1000.0
+#: Milliseconds per minute.
+MS_PER_MIN = 60_000.0
+
+
+def mb_per_s_to_bytes_per_ms(rate_mb_s: float) -> float:
+    """Convert a transfer rate in (decimal) MB/s to bytes per millisecond."""
+    return rate_mb_s * MB_DECIMAL / MS_PER_S
+
+
+def bytes_per_ms_to_mb_per_s(rate_b_ms: float) -> float:
+    """Convert a rate in bytes/ms back to decimal MB/s."""
+    return rate_b_ms * MS_PER_S / MB_DECIMAL
+
+
+def rpm_to_rotation_ms(rpm: float) -> float:
+    """Full-rotation time in milliseconds of a platter spinning at ``rpm``."""
+    if rpm <= 0:
+        raise ValueError(f"rpm must be positive, got {rpm}")
+    return MS_PER_MIN / rpm
+
+
+def bytes_to_blocks(n_bytes: int, block_size: int) -> int:
+    """Number of ``block_size`` blocks needed to hold ``n_bytes`` (ceiling)."""
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+    return -(-n_bytes // block_size)
+
+
+def blocks_to_bytes(n_blocks: int, block_size: int) -> int:
+    """Size in bytes of ``n_blocks`` blocks of ``block_size`` bytes."""
+    return n_blocks * block_size
+
+
+def fmt_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (binary units), e.g. ``'4.0 MB'``."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_ms(t_ms: float) -> str:
+    """Human-readable time, e.g. ``'3.40 ms'`` or ``'12.3 s'``."""
+    if abs(t_ms) < MS_PER_S:
+        return f"{t_ms:.2f} ms"
+    return f"{t_ms / MS_PER_S:.3g} s"

@@ -1,0 +1,27 @@
+"""Workload generation: synthetic §6.2 traces and §6.3 server workloads."""
+
+from repro.workloads.zipf import ZipfSampler, zipf_accumulated
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta, count_block_accesses
+from repro.workloads.filesize import sample_file_sizes_blocks
+from repro.workloads.stats import TraceStatistics, compute_trace_statistics, fit_zipf_alpha
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.webserver import WebServerWorkload
+from repro.workloads.proxy import ProxyServerWorkload
+from repro.workloads.fileserver import FileServerWorkload
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_accumulated",
+    "DiskAccess",
+    "Trace",
+    "TraceMeta",
+    "count_block_accesses",
+    "sample_file_sizes_blocks",
+    "TraceStatistics",
+    "compute_trace_statistics",
+    "fit_zipf_alpha",
+    "SyntheticWorkload",
+    "WebServerWorkload",
+    "ProxyServerWorkload",
+    "FileServerWorkload",
+]

@@ -1,0 +1,187 @@
+"""File-server workload generator (paper §6.3, HP Labs trace).
+
+Reported characteristics we match (scaled by ``scale``):
+
+* ~9.5M requests over ~30K files,
+* *partial-file* accesses averaging 3.1 KB (under one 4-KB block),
+* footprint ~16 GB (mean file size ~550 KB, heavy-tailed),
+* 34% of server requests are writes, merged down to ~20% of the disk
+  log by the buffer cache,
+* up to 128 concurrent I/O streams.
+
+Accesses mix per-file sequential scans with random jumps; the partial
+accesses are the property that caps FOR's gains here (§6.3: "the file
+server does not necessarily access entire files").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import WorkloadError
+from repro.fs.layout import FileSystemLayout
+from repro.oscache.prefetch import SequentialPrefetcher
+from repro.sim.rng import RandomStreams
+from repro.units import KB, MB
+from repro.workloads.filesize import sample_file_sizes_blocks
+from repro.workloads.servergen import ServerTraceBuilder
+from repro.workloads.trace import Trace, TraceMeta
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class FileServerSpec:
+    """Scaled parameters of the HP Labs file-server workload."""
+
+    scale: float = 1.0
+    base_requests: int = 9_500_000
+    base_files: int = 30_000
+    mean_file_bytes: float = 550 * KB
+    size_sigma: float = 1.5
+    zipf_alpha: float = 0.6
+    server_write_fraction: float = 0.34
+    #: Probability an access continues the file's sequential cursor.
+    sequential_prob: float = 0.55
+    #: Probability a write re-targets the file's last-written offset —
+    #: the rewrite locality that lets the buffer cache merge writes
+    #: (the paper's 34% server writes become ~20% disk writes).
+    write_rewrite_prob: float = 0.7
+    #: Fraction of reads issued as direct (uncached) I/O — databases
+    #: and backup tools on file servers commonly bypass the buffer
+    #: cache (calibrated against the paper's low file-server HDC hit
+    #: rates).
+    bypass_fraction: float = 0.10
+    base_buffer_cache_bytes: int = 400 * MB
+    block_size: int = 4 * KB
+    total_blocks: int = 36 * 1024 * 1024
+    n_streams: int = 128
+    coalesce_prob: float = 0.87
+    #: OS read-ahead ramp: initial and maximum window (blocks). Linux
+    #: starts around 16 KB and ramps to 64 KB.
+    prefetch_initial_blocks: int = 4
+    prefetch_max_blocks: int = 16
+    sync_every: int = 24_000
+    frag_prob: float = 0.0
+    seed: int = 13
+    #: Period index (§5): layout/sizes/popularity fixed, draws fresh.
+    period: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise WorkloadError(f"scale must be in (0,1], got {self.scale}")
+        if not 0.0 <= self.server_write_fraction <= 1.0:
+            raise WorkloadError("bad server write fraction")
+        if not 0.0 <= self.sequential_prob <= 1.0:
+            raise WorkloadError("bad sequential probability")
+
+    @property
+    def n_requests(self) -> int:
+        return max(1, int(self.base_requests * self.scale))
+
+    @property
+    def n_files(self) -> int:
+        return max(1, int(self.base_files * self.scale))
+
+    @property
+    def buffer_cache_blocks(self) -> int:
+        """Buffer-cache size, scale-boosted to keep the cache hierarchy
+        sane at small scales.
+
+        The controller caches are hardware-absolute (8 x 4 MB never
+        shrinks with ``scale``), so scaling the host cache linearly
+        would invert the hierarchy and let the controller cache act as
+        the buffer cache. The x10 boost (capped at the full 400 MB)
+        keeps host memory above the 32-MB aggregate controller cache at
+        the scales the experiments use.
+        """
+        effective = min(1.0, self.scale * 10.0)
+        return max(64, int(self.base_buffer_cache_bytes * effective) // self.block_size)
+
+
+class FileServerWorkload:
+    """Generates the file-server disk trace."""
+
+    def __init__(self, spec: FileServerSpec = FileServerSpec()):
+        spec.validate()
+        self.spec = spec
+
+    def build(self):
+        """Return ``(FileSystemLayout, Trace)`` of disk-level accesses."""
+        spec = self.spec
+        streams = RandomStreams(spec.seed)
+        sizes = sample_file_sizes_blocks(
+            spec.n_files,
+            spec.mean_file_bytes,
+            spec.block_size,
+            rng=streams.stream("fileserver.sizes"),
+            sigma=spec.size_sigma,
+            max_blocks=1 << 15,
+        )
+        layout = FileSystemLayout.build(
+            sizes,
+            spec.total_blocks,
+            frag_prob=spec.frag_prob,
+            rng=streams.stream("fileserver.layout"),
+        )
+        sampler = ZipfSampler(
+            spec.n_files,
+            spec.zipf_alpha,
+            rng=streams.stream(f"fileserver.popularity.p{spec.period}"),
+        )
+        builder = ServerTraceBuilder(
+            layout,
+            spec.buffer_cache_blocks,
+            SequentialPrefetcher(
+                max_window_blocks=spec.prefetch_max_blocks,
+                initial_window_blocks=spec.prefetch_initial_blocks,
+            ),
+            sync_every=spec.sync_every,
+        )
+        # Decorrelate popularity rank from disk position (see synthetic.py).
+        perm = streams.stream("fileserver.perm").permutation(spec.n_files)
+        file_ids = perm[sampler.sample(spec.n_requests)]
+        kind_rng = streams.stream(f"fileserver.kind.p{spec.period}")
+        write_draws = kind_rng.random(spec.n_requests)
+        seq_draws = kind_rng.random(spec.n_requests)
+        offset_draws = kind_rng.random(spec.n_requests)
+        rewrite_draws = kind_rng.random(spec.n_requests)
+        bypass_draws = kind_rng.random(spec.n_requests)
+        cursors: Dict[int, int] = {}
+        last_written: Dict[int, int] = {}
+
+        for i in range(spec.n_requests):
+            fid = int(file_ids[i])
+            size = layout.file(fid).size_blocks
+            if seq_draws[i] < spec.sequential_prob and fid in cursors:
+                offset = cursors[fid] % size
+            else:
+                offset = int(offset_draws[i] * size)
+            cursors[fid] = offset + 1
+            if write_draws[i] < spec.server_write_fraction:
+                if (
+                    rewrite_draws[i] < spec.write_rewrite_prob
+                    and fid in last_written
+                ):
+                    offset = last_written[fid]
+                last_written[fid] = offset
+                builder.write_file_range(fid, offset, 1)
+            elif bypass_draws[i] < spec.bypass_fraction:
+                builder.read_file_range_uncached(fid, offset, 1)
+            else:
+                builder.read_file_range(fid, offset, 1)
+        records = builder.finish()
+        meta = TraceMeta(
+            name="fileserver",
+            n_files=spec.n_files,
+            footprint_blocks=layout.footprint_blocks,
+            n_streams=spec.n_streams,
+            coalesce_prob=spec.coalesce_prob,
+            block_size=spec.block_size,
+            extra={
+                "scale": spec.scale,
+                "server_requests": spec.n_requests,
+                "buffer_read_hit_rate": builder.cache.read_hit_rate,
+            },
+        )
+        return layout, Trace(records, meta)

@@ -1,0 +1,144 @@
+"""Shared machinery for deriving disk-level traces from server workloads.
+
+The paper's real traces are *disk access logs*: the instrumented Linux
+host ran the server, and only requests that missed the application and
+file-system caches were logged (§6.3). :class:`ServerTraceBuilder`
+reproduces that pipeline: server-level file reads/writes are pushed
+through an LRU write-back buffer cache with OS sequential prefetching;
+the emitted records are the cache's misses and write-backs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fs.layout import FileSystemLayout
+from repro.oscache.buffer_cache import LRUBufferCache
+from repro.oscache.prefetch import SequentialPrefetcher
+from repro.workloads.trace import DiskAccess
+
+
+def group_blocks_into_runs(blocks: List[int]) -> List[Tuple[int, int]]:
+    """Sort block numbers and merge adjacency into (start, length) runs."""
+    if not blocks:
+        return []
+    blocks = sorted(set(blocks))
+    runs: List[Tuple[int, int]] = []
+    start = prev = blocks[0]
+    for b in blocks[1:]:
+        if b == prev + 1:
+            prev = b
+        else:
+            runs.append((start, prev - start + 1))
+            start = prev = b
+    runs.append((start, prev - start + 1))
+    return runs
+
+
+class ServerTraceBuilder:
+    """Feeds server-level accesses through the host cache stack."""
+
+    def __init__(
+        self,
+        layout: FileSystemLayout,
+        buffer_cache_blocks: int,
+        prefetcher: SequentialPrefetcher,
+        sync_every: int = 0,
+    ):
+        self.layout = layout
+        self.cache = LRUBufferCache(buffer_cache_blocks)
+        self.prefetcher = prefetcher
+        self.sync_every = sync_every
+        self.records: List[DiskAccess] = []
+        self._pending_writebacks: List[int] = []
+        self._accesses_since_sync = 0
+
+    # -- server-level operations -------------------------------------------
+
+    def read_file_range(self, file_id: int, offset: int, n_blocks: int) -> None:
+        """Server reads file blocks ``[offset, offset + n_blocks)``."""
+        info = self.layout.file(file_id)
+        end = offset + n_blocks
+        o = offset
+        while o < end:
+            lb = info.block_at(o)
+            if self.cache.read(lb):
+                o += 1
+                continue
+            fetch = self.prefetcher.fetch_size(file_id, o, info.size_blocks)
+            runs = info.logical_runs(o, fetch)
+            self.records.append(DiskAccess(runs, is_write=False))
+            for start, length in runs:
+                for block in range(start, start + length):
+                    self._pending_writebacks.extend(self.cache.insert(block))
+            o += fetch
+        self._end_of_request()
+
+    def read_whole_file(self, file_id: int) -> None:
+        """Server reads an entire file sequentially."""
+        self.read_file_range(file_id, 0, self.layout.file(file_id).size_blocks)
+
+    def read_whole_file_uncached(self, file_id: int) -> None:
+        """Server reads a file bypassing the buffer cache (direct I/O,
+        or an application-level cache that shadows the kernel's).
+
+        The access reaches the disk regardless of buffer-cache state
+        and leaves no residue in it — the mechanism that lets file
+        popularity survive into the disk-level miss stream.
+        """
+        info = self.layout.file(file_id)
+        self.records.append(
+            DiskAccess(info.logical_runs(0, info.size_blocks), is_write=False)
+        )
+        self._end_of_request()
+
+    def read_file_range_uncached(
+        self, file_id: int, offset: int, n_blocks: int
+    ) -> None:
+        """Partial-file direct read (see :meth:`read_whole_file_uncached`)."""
+        info = self.layout.file(file_id)
+        self.records.append(
+            DiskAccess(info.logical_runs(offset, n_blocks), is_write=False)
+        )
+        self._end_of_request()
+
+    def write_file_range(self, file_id: int, offset: int, n_blocks: int) -> None:
+        """Server (over)writes file blocks ``[offset, offset + n_blocks)``."""
+        info = self.layout.file(file_id)
+        for o in range(offset, offset + n_blocks):
+            lb = info.block_at(o)
+            _hit, evicted = self.cache.write(lb)
+            self._pending_writebacks.extend(evicted)
+        self._end_of_request()
+
+    def write_whole_file(self, file_id: int) -> None:
+        """Server (re)writes an entire file."""
+        self.write_file_range(file_id, 0, self.layout.file(file_id).size_blocks)
+
+    # -- internals -----------------------------------------------------
+
+    def _end_of_request(self) -> None:
+        self._flush_writebacks()
+        self._accesses_since_sync += 1
+        if self.sync_every and self._accesses_since_sync >= self.sync_every:
+            self.sync()
+
+    def _flush_writebacks(self) -> None:
+        if not self._pending_writebacks:
+            return
+        for run in group_blocks_into_runs(self._pending_writebacks):
+            self.records.append(DiskAccess([run], is_write=True))
+        self._pending_writebacks.clear()
+
+    def sync(self) -> None:
+        """Periodic dirty-block flush (Unix's 30-second sync)."""
+        self._accesses_since_sync = 0
+        dirty = self.cache.sync()
+        for run in group_blocks_into_runs(dirty):
+            self.records.append(DiskAccess([run], is_write=True))
+
+    def finish(self) -> List[DiskAccess]:
+        """Final sync; returns the accumulated disk-level records."""
+        self._flush_writebacks()
+        self.sync()
+        return self.records

@@ -1,0 +1,126 @@
+"""Descriptive statistics of disk traces.
+
+One call summarises everything the paper reports about its traces —
+request counts, read/write mix, access-size distribution, footprint,
+popularity (with a fitted Zipf coefficient, the paper's Fig. 2 fit),
+and physical sequentiality — so a generated workload can be compared
+against the paper's reported characteristics at a glance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace, count_block_accesses
+
+
+@dataclass
+class TraceStatistics:
+    """Summary of one disk-level trace."""
+
+    n_records: int
+    n_reads: int
+    n_writes: int
+    total_blocks: int
+    distinct_blocks: int
+    footprint_span_blocks: int
+    mean_record_blocks: float
+    max_record_blocks: int
+    hottest_block_count: int
+    fitted_zipf_alpha: float
+    #: Fraction of consecutive records that touch adjacent blocks.
+    inter_record_sequentiality: float
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of records that are writes."""
+        return self.n_writes / self.n_records if self.n_records else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"records            : {self.n_records} "
+            f"({100 * self.write_fraction:.1f}% writes)",
+            f"blocks accessed    : {self.total_blocks} total, "
+            f"{self.distinct_blocks} distinct",
+            f"mean record size   : {self.mean_record_blocks:.2f} blocks "
+            f"(max {self.max_record_blocks})",
+            f"hottest block      : {self.hottest_block_count} accesses",
+            f"fitted Zipf alpha  : {self.fitted_zipf_alpha:.2f}",
+            f"inter-record seq.  : {100 * self.inter_record_sequentiality:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+def fit_zipf_alpha(counts: List[int], min_rank: int = 1, max_rank: int = 0) -> float:
+    """Fit ``count(rank) ~ C * rank^-alpha`` by log-log regression.
+
+    ``counts`` must be sorted descending. Rank 1 is often an outlier
+    (the paper's Fig. 2 fit visibly ignores the extreme head), so
+    callers can trim with ``min_rank``.
+    """
+    if not counts:
+        raise WorkloadError("cannot fit Zipf to an empty distribution")
+    end = max_rank if max_rank else len(counts)
+    end = min(end, len(counts))
+    if min_rank > end - 1:
+        min_rank = 1  # too few ranks to trim the head
+    if end - min_rank < 1:
+        return 0.0
+    ranks = np.arange(min_rank, end + 1, dtype=np.float64)
+    values = np.asarray(counts[min_rank - 1 : int(ranks[-1])], dtype=np.float64)
+    mask = values > 0
+    if mask.sum() < 2:
+        return 0.0
+    slope, _intercept = np.polyfit(np.log(ranks[mask]), np.log(values[mask]), 1)
+    return float(max(0.0, -slope))
+
+
+def compute_trace_statistics(trace: Trace) -> TraceStatistics:
+    """Compute a :class:`TraceStatistics` for ``trace``."""
+    if len(trace) == 0:
+        raise WorkloadError("cannot summarise an empty trace")
+    counts = count_block_accesses(trace)
+    sorted_counts = sorted(counts.values(), reverse=True)
+    sizes = Counter()
+    n_writes = 0
+    total_blocks = 0
+    max_size = 0
+    sequential_pairs = 0
+    prev_end = None
+    lo = None
+    hi = None
+    for record in trace:
+        n = record.n_blocks
+        sizes[n] += 1
+        total_blocks += n
+        max_size = max(max_size, n)
+        if record.is_write:
+            n_writes += 1
+        first = record.runs[0][0]
+        last_run = record.runs[-1]
+        if prev_end is not None and first == prev_end:
+            sequential_pairs += 1
+        prev_end = last_run[0] + last_run[1]
+        lo = first if lo is None else min(lo, first)
+        hi = prev_end if hi is None else max(hi, prev_end)
+    return TraceStatistics(
+        n_records=len(trace),
+        n_reads=len(trace) - n_writes,
+        n_writes=n_writes,
+        total_blocks=total_blocks,
+        distinct_blocks=len(counts),
+        footprint_span_blocks=(hi - lo) if hi is not None else 0,
+        mean_record_blocks=total_blocks / len(trace),
+        max_record_blocks=max_size,
+        hottest_block_count=sorted_counts[0],
+        fitted_zipf_alpha=fit_zipf_alpha(sorted_counts, min_rank=3),
+        inter_record_sequentiality=sequential_pairs / max(1, len(trace) - 1),
+        size_histogram=dict(sizes),
+    )

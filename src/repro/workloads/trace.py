@@ -1,0 +1,147 @@
+"""Disk-level traces: the input the simulator replays.
+
+A :class:`DiskAccess` is one logged disk request — what survived the
+application and buffer caches on the instrumented host — expressed as
+one or more contiguous *logical* block runs (multiple runs appear when
+the file system fragmented the underlying file). Addresses are logical
+(array-level) so the same trace can be replayed under different
+striping units, exactly as the paper's Figs. 7/9/11 do.
+
+Traces serialize to a simple JSON-lines format for reuse across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Counter as CounterT, Iterable, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+class DiskAccess:
+    """One disk request: logical runs plus a read/write flag."""
+
+    __slots__ = ("runs", "is_write")
+
+    def __init__(self, runs: Sequence[Tuple[int, int]], is_write: bool = False):
+        if not runs:
+            raise WorkloadError("a disk access needs at least one run")
+        for start, length in runs:
+            if length <= 0 or start < 0:
+                raise WorkloadError(f"bad run ({start}, {length})")
+        self.runs = tuple((int(s), int(n)) for s, n in runs)
+        self.is_write = bool(is_write)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total blocks touched by this access."""
+        return sum(n for _, n in self.runs)
+
+    def blocks(self) -> Iterable[int]:
+        """Iterate every logical block of the access."""
+        for start, length in self.runs:
+            yield from range(start, start + length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "W" if self.is_write else "R"
+        return f"<DiskAccess {kind} {list(self.runs)}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DiskAccess)
+            and self.runs == other.runs
+            and self.is_write == other.is_write
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.runs, self.is_write))
+
+
+@dataclass
+class TraceMeta:
+    """Descriptive statistics carried alongside a trace."""
+
+    name: str = "trace"
+    n_files: int = 0
+    footprint_blocks: int = 0
+    n_streams: int = 128
+    coalesce_prob: float = 0.87
+    block_size: int = 4096
+    extra: dict = field(default_factory=dict)
+
+
+class Trace:
+    """An ordered list of :class:`DiskAccess` records plus metadata."""
+
+    def __init__(self, records: List[DiskAccess], meta: TraceMeta):
+        self.records = records
+        self.meta = meta
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    @property
+    def total_blocks(self) -> int:
+        """Sum of blocks over all records."""
+        return sum(r.n_blocks for r in self.records)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of records that are writes."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.is_write) / len(self.records)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the trace as JSON lines (meta on the first line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"meta": asdict(self.meta)}) + "\n")
+            for record in self.records:
+                fh.write(
+                    json.dumps({"r": list(map(list, record.runs)),
+                                "w": int(record.is_write)})
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        records: List[DiskAccess] = []
+        meta = TraceMeta()
+        with path.open("r", encoding="utf-8") as fh:
+            first = fh.readline()
+            if not first:
+                raise WorkloadError(f"empty trace file {path}")
+            head = json.loads(first)
+            if "meta" not in head:
+                raise WorkloadError(f"{path} missing meta header")
+            meta = TraceMeta(**head["meta"])
+            for line in fh:
+                obj = json.loads(line)
+                records.append(
+                    DiskAccess([tuple(r) for r in obj["r"]], bool(obj["w"]))
+                )
+        return cls(records, meta)
+
+
+def count_block_accesses(trace: Trace) -> CounterT[int]:
+    """Access count per logical block (Fig. 2's data; HDC's profile)."""
+    counts: CounterT[int] = Counter()
+    for record in trace:
+        for start, length in record.runs:
+            for lb in range(start, start + length):
+                counts[lb] += 1
+    return counts

@@ -1,0 +1,48 @@
+"""Shared fixtures: small, fast configurations for unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ArrayParams,
+    CacheParams,
+    DiskParams,
+    SimConfig,
+    make_config,
+)
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def small_disk() -> DiskParams:
+    """A 64-MB toy disk with realistic mechanics (fast to simulate)."""
+    return DiskParams(capacity_bytes=64 * MB)
+
+
+@pytest.fixture
+def small_cache() -> CacheParams:
+    """A 256-KB cache of eight 32-KB segments."""
+    return CacheParams(
+        size_bytes=256 * KB,
+        block_size=4 * KB,
+        segment_size_bytes=32 * KB,
+        n_segments=8,
+    )
+
+
+@pytest.fixture
+def small_config(small_disk, small_cache) -> SimConfig:
+    """Two tiny disks, 16-KB striping unit — a fast full system."""
+    return make_config(
+        disk=small_disk,
+        cache=small_cache,
+        array=ArrayParams(n_disks=2, striping_unit_bytes=16 * KB),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def paper_config() -> SimConfig:
+    """The paper's Table 1 system (18-GB disks, 8-wide array)."""
+    return make_config(seed=42)

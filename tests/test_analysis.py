@@ -1,0 +1,157 @@
+"""Closed-form models: hit rates, utilization, runs, striping, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.hitrate import conventional_hit_rate, for_hit_rate
+from repro.analysis.sequential_run import (
+    expected_sequential_run,
+    expected_sequential_run_exact,
+)
+from repro.analysis.striping_model import gamma_uniform, striped_response_time
+from repro.analysis.utilization import (
+    for_utilization_reduction,
+    read_service_time,
+)
+from repro.analysis.validation import run_read_validation, run_write_validation
+from repro.analysis.zipf_model import hdc_expected_hit_rate
+from repro.config import DiskParams
+from repro.errors import ConfigError
+from repro.units import KB
+
+
+class TestHitRates:
+    # Paper parameters: c = 1024 blocks (4 MB), s = 27 segments.
+    C, S = 1024, 27
+
+    def test_for_dominates_conventional_for_small_files(self):
+        """§4's analytic claim, for t > 27 streams and files < 128 KB."""
+        for t in (64, 128, 256):
+            for f in (2, 4, 8, 16):
+                h = conventional_hit_rate(t, self.C, self.S, 1, f)
+                h_for = for_hit_rate(t, self.C, self.S, 1, f)
+                assert h_for >= h
+
+    def test_conventional_regimes(self):
+        # few streams: limited by min(f, c/s)
+        h = conventional_hit_rate(10, self.C, self.S, 1, 4)
+        assert h == pytest.approx(3 / 4)
+        # many streams: limited by request size p
+        h = conventional_hit_rate(100, self.C, self.S, 2, 4)
+        assert h == pytest.approx(1 / 2)
+
+    def test_for_regimes(self):
+        # fits in cache: hit rate (f-1)/f
+        assert for_hit_rate(10, self.C, self.S, 1, 4) == pytest.approx(3 / 4)
+        # overflows cache: limited by p
+        assert for_hit_rate(1000, self.C, self.S, 2, 4) == pytest.approx(1 / 2)
+
+    def test_for_threshold_is_c_over_f(self):
+        f = 4
+        t_limit = self.C // f
+        high = for_hit_rate(t_limit, self.C, self.S, 1, f)
+        low = for_hit_rate(t_limit + 1, self.C, self.S, 1, f)
+        assert high > low
+
+    def test_p_cannot_exceed_f(self):
+        with pytest.raises(ConfigError):
+            for_hit_rate(10, self.C, self.S, 8, 4)
+
+    def test_parameters_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            conventional_hit_rate(0, self.C, self.S, 1, 4)
+
+
+class TestUtilization:
+    def test_paper_29_percent_example(self):
+        """§4: 4-KB files vs 128-KB read-ahead on the 36Z15 ~ 29% less."""
+        reduction = for_utilization_reduction(
+            DiskParams(), file_blocks=1, readahead_blocks=32, block_size=4 * KB
+        )
+        assert reduction == pytest.approx(0.29, abs=0.04)
+
+    def test_no_reduction_for_large_files(self):
+        reduction = for_utilization_reduction(
+            DiskParams(), file_blocks=32, readahead_blocks=32, block_size=4 * KB
+        )
+        assert reduction == 0.0
+
+    def test_service_time_composition(self):
+        t = read_service_time(DiskParams(), 32, 4 * KB, seek_ms=3.4)
+        assert t == pytest.approx(3.4 + 2.0 + 32 * 4096 / 54_000)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            read_service_time(DiskParams(), -1, 4 * KB)
+        with pytest.raises(ConfigError):
+            for_utilization_reduction(DiskParams(), 0, 32, 4 * KB)
+
+
+class TestSequentialRun:
+    def test_zero_frag_gives_whole_file(self):
+        assert expected_sequential_run(8, 0.0) == 8.0
+        assert expected_sequential_run_exact(8, 0.0) == 8.0
+
+    def test_full_frag_gives_single_blocks(self):
+        assert expected_sequential_run_exact(8, 1.0) == pytest.approx(1.0)
+
+    def test_paper_checkpoints_at_5_percent(self):
+        """Fig. 1: 32-block files -> ~12; 8-block files -> ~6."""
+        assert expected_sequential_run_exact(32, 0.05) == pytest.approx(12, rel=0.4)
+        assert expected_sequential_run_exact(8, 0.05) == pytest.approx(6, rel=0.25)
+
+    @given(
+        f=st.integers(min_value=1, max_value=128),
+        p=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_exact_bounded_and_monotone(self, f, p):
+        run = expected_sequential_run_exact(f, p)
+        assert 1.0 - 1e-9 <= run <= f + 1e-9
+        assert expected_sequential_run_exact(f, min(1.0, p + 0.05)) <= run + 1e-9
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            expected_sequential_run(0, 0.5)
+        with pytest.raises(ConfigError):
+            expected_sequential_run(4, 1.5)
+
+
+class TestStripingModel:
+    def test_gamma_uniform(self):
+        assert gamma_uniform(1) == pytest.approx(1.0)
+        assert gamma_uniform(4) == pytest.approx(8 / 5)
+
+    def test_gamma_increases_with_width(self):
+        assert gamma_uniform(8) > gamma_uniform(2)
+
+    def test_striped_response_time(self):
+        t = striped_response_time(lambda r: 1.0 + r, n_blocks=8, n_subrequests=4)
+        assert t == pytest.approx(gamma_uniform(4) * 3.0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            gamma_uniform(0)
+        with pytest.raises(ConfigError):
+            striped_response_time(lambda r: r, 0, 2)
+
+
+class TestZipfModel:
+    def test_hdc_hit_rate_prediction(self):
+        assert hdc_expected_hit_rate(100, 1000, 0.0) == pytest.approx(0.1)
+        assert hdc_expected_hit_rate(1000, 1000, 0.9) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_read_validation_within_paper_tolerance(self):
+        result = run_read_validation(n_requests=300, seed=1)
+        assert result.error_fraction < 0.08  # paper: reads within 8%
+
+    def test_write_validation_within_paper_tolerance(self):
+        result = run_write_validation(n_requests=300, seed=2)
+        assert result.error_fraction < 0.08
+
+    def test_error_fraction_zero_denominator(self):
+        from repro.analysis.validation import ValidationResult
+
+        assert ValidationResult("x", 1.0, 0.0).error_fraction == 0.0

@@ -1,0 +1,70 @@
+"""ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.base import SeriesResult
+from repro.metrics.ascii_chart import render_chart, render_series_result
+
+
+def test_renders_axis_and_legend():
+    text = render_chart([1, 2, 3], {"a": [0.0, 0.5, 1.0]})
+    assert "legend: o=a" in text
+    assert "+-" in text
+    assert "1" in text.splitlines()[-2]  # x labels row
+
+
+def test_min_max_labels_present():
+    text = render_chart([0, 1], {"a": [2.0, 8.0]})
+    assert "8" in text
+    assert "2" in text
+
+
+def test_multiple_series_get_distinct_glyphs():
+    text = render_chart([0, 1], {"a": [0, 1], "b": [1, 0]})
+    assert "o=a" in text and "x=b" in text
+    assert "o" in text and "x" in text
+
+
+def test_monotone_series_slopes_down_the_grid():
+    text = render_chart([0, 1, 2], {"a": [0.0, 0.5, 1.0]}, height=5, width=9)
+    lines = [l for l in text.splitlines() if "|" in l]
+    first_row = next(i for i, l in enumerate(lines) if "o" in l)
+    last_row = max(i for i, l in enumerate(lines) if "o" in l)
+    # max value plots on the top row, min on the bottom row
+    assert first_row == 0
+    assert last_row == len(lines) - 1
+
+
+def test_nan_points_are_skipped():
+    text = render_chart([0, 1, 2], {"a": [1.0, math.nan, 2.0]})
+    assert text.count("o") >= 2  # legend glyph + at least drawn points
+
+
+def test_constant_series_does_not_divide_by_zero():
+    text = render_chart([0, 1], {"a": [5.0, 5.0]})
+    assert "o" in text
+
+
+def test_single_point():
+    text = render_chart([42], {"a": [3.0]})
+    assert "o" in text
+
+
+def test_rejects_empty_and_degenerate():
+    with pytest.raises(ReproError):
+        render_chart([0], {})
+    with pytest.raises(ReproError):
+        render_chart([0], {"a": [math.nan]})
+    with pytest.raises(ReproError):
+        render_chart([0], {"a": [1.0]}, height=1)
+
+
+def test_series_result_wrapper():
+    result = SeriesResult("figZZ", "demo", "x", x_values=[1, 2])
+    result.add_point("y", 1.0)
+    result.add_point("y", 2.0)
+    text = render_series_result(result)
+    assert "figZZ" in text

@@ -1,0 +1,95 @@
+"""HDC pinned region: pin/unpin/flush and dirty semantics."""
+
+import pytest
+
+from repro.cache.pinned import PinnedRegion
+from repro.errors import CacheError
+
+
+def test_pin_and_membership():
+    region = PinnedRegion(4)
+    region.pin(10)
+    assert region.is_pinned(10)
+    assert 10 in region
+    assert len(region) == 1
+
+
+def test_pin_is_idempotent():
+    region = PinnedRegion(2)
+    region.pin(1)
+    region.pin(1)
+    assert len(region) == 1
+
+
+def test_capacity_enforced():
+    region = PinnedRegion(2)
+    region.pin_many([1, 2])
+    with pytest.raises(CacheError):
+        region.pin(3)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(CacheError):
+        PinnedRegion(-1)
+
+
+def test_unpin_clean_block():
+    region = PinnedRegion(2)
+    region.pin(1)
+    region.unpin(1)
+    assert not region.is_pinned(1)
+
+
+def test_unpin_unknown_is_noop():
+    PinnedRegion(2).unpin(99)
+
+
+def test_unpin_dirty_refused():
+    """A dirty pinned block holds the only up-to-date copy."""
+    region = PinnedRegion(2)
+    region.pin(1)
+    region.write(1)
+    with pytest.raises(CacheError):
+        region.unpin(1)
+    region.flush()
+    region.unpin(1)  # clean after flush
+
+
+def test_write_requires_pin():
+    with pytest.raises(CacheError):
+        PinnedRegion(2).write(5)
+
+
+def test_flush_returns_and_clears_dirty():
+    region = PinnedRegion(4)
+    region.pin_many([1, 2, 3])
+    region.write(1)
+    region.write(3)
+    assert region.dirty_count() == 2
+    flushed = region.flush()
+    assert sorted(flushed) == [1, 3]
+    assert region.dirty_count() == 0
+    assert region.flush() == []
+
+
+def test_blocks_stay_pinned_after_flush():
+    region = PinnedRegion(2)
+    region.pin(1)
+    region.write(1)
+    region.flush()
+    assert region.is_pinned(1)
+
+
+def test_hit_accounting():
+    region = PinnedRegion(2)
+    region.pin(1)
+    region.note_read_hit(1)
+    region.write(1)
+    assert region.hits == 2
+    assert region.write_hits == 1
+
+
+def test_pinned_blocks_listing():
+    region = PinnedRegion(4)
+    region.pin_many([5, 6])
+    assert sorted(region.pinned_blocks()) == [5, 6]

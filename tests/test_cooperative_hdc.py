@@ -1,0 +1,132 @@
+"""Cooperative HDC caching across controllers (§5 extension)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.array.striping import StripingLayout
+from repro.config import ArrayParams, make_config
+from repro.errors import ConfigError
+from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
+from repro.host.system import System
+from repro.units import KB
+
+
+def striping():
+    return StripingLayout(2, 4, 1000)  # disk0: lb 0..3, disk1: lb 4..7, ...
+
+
+class TestPlanner:
+    def test_home_disk_preferred(self):
+        counts = Counter({0: 10, 4: 9})
+        plan = plan_cooperative_pins(counts, striping(), 2)
+        assert 0 in plan[0]
+        assert 4 in plan[1]
+
+    def test_spill_to_other_controller(self):
+        # four hot blocks all on disk 0; capacity 2 per controller
+        counts = Counter({0: 10, 1: 9, 2: 8, 3: 7})
+        plan = plan_cooperative_pins(counts, striping(), 2)
+        assert sorted(plan[0]) == [0, 1]
+        assert sorted(plan[1]) == [2, 3]  # spilled to disk 1's region
+
+    def test_total_capacity_respected(self):
+        counts = Counter({lb: 100 - lb for lb in range(50)})
+        plan = plan_cooperative_pins(counts, striping(), 3)
+        assert sum(len(v) for v in plan.values()) == 6
+
+    def test_zero_capacity(self):
+        plan = plan_cooperative_pins(Counter({0: 1}), striping(), 0)
+        assert all(not v for v in plan.values())
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_cooperative_pins(Counter(), striping(), -1)
+
+
+@pytest.fixture
+def coop_system(small_disk, small_cache):
+    config = make_config(
+        disk=small_disk,
+        cache=small_cache,
+        array=ArrayParams(n_disks=2, striping_unit_bytes=16 * KB),
+        hdc_bytes=32 * KB,
+        seed=4,
+    )
+    return System(config)
+
+
+class TestCooperativeHdc:
+    def test_home_hits_served_without_media(self, coop_system):
+        system = coop_system
+        # lb 0..3 are on disk 0 (unit = 4 blocks)
+        coop = CooperativeHdc(system.array, {0: [0, 1], 1: []})
+        done = []
+        served = coop.submit_read(0, 2, on_complete=lambda: done.append(1))
+        system.sim.run()
+        assert served == 2
+        assert done == [1]
+        assert system.array.controller_stats().media_reads == 0
+        assert coop.home_hits == 2
+
+    def test_remote_replica_counts_as_remote_hit(self, coop_system):
+        system = coop_system
+        # lb 0 (home disk 0) pinned at controller 1 (spill)
+        coop = CooperativeHdc(system.array, {0: [], 1: [0]})
+        coop.submit_read(0, 1)
+        system.sim.run()
+        assert coop.remote_hits == 1
+        assert system.array.controller_stats().media_reads == 0
+
+    def test_partial_hit_issues_remainder(self, coop_system):
+        system = coop_system
+        coop = CooperativeHdc(system.array, {0: [1], 1: []})
+        done = []
+        served = coop.submit_read(0, 3, on_complete=lambda: done.append(1))
+        system.sim.run()
+        assert served == 1
+        assert done == [1]
+        # media read(s) cover the unpinned blocks 0 and 2
+        assert system.array.controller_stats().media_reads >= 1
+
+    def test_write_invalidates_remote_copy_only(self, coop_system):
+        system = coop_system
+        coop = CooperativeHdc(system.array, {0: [4], 1: [0]})  # both remote?
+        # lb 4's home is disk 1; pinned at controller 0 => remote.
+        # lb 0's home is disk 0; pinned at controller 1 => remote.
+        dropped = coop.invalidate_on_write(0, 1)
+        assert dropped == 1
+        assert 0 not in coop.directory
+        assert 4 in coop.directory
+        assert coop.invalidations == 1
+
+    def test_home_pin_survives_write(self, coop_system):
+        system = coop_system
+        coop = CooperativeHdc(system.array, {0: [0], 1: []})
+        assert coop.invalidate_on_write(0, 1) == 0
+        assert 0 in coop.directory
+
+    def test_read_with_no_pins_falls_through(self, coop_system):
+        system = coop_system
+        coop = CooperativeHdc(system.array, {0: [], 1: []})
+        done = []
+        served = coop.submit_read(8, 2, on_complete=lambda: done.append(1))
+        system.sim.run()
+        assert served == 0
+        assert done == [1]
+        assert system.array.controller_stats().media_reads >= 1
+
+    def test_cooperation_beats_home_only_for_skewed_homes(self, coop_system):
+        """When one disk owns all hot blocks, cooperation pins more of
+        them than the paper's per-disk policy can."""
+        system = coop_system
+        capacity = 8  # blocks per controller (32 KB / 4 KB)
+        hot = list(range(0, 4)) + list(range(8, 12)) + list(range(16, 24))
+        counts = Counter({lb: 100 - i for i, lb in enumerate(hot)})
+        plan = plan_cooperative_pins(counts, system.striping, capacity)
+        pinned_coop = sum(len(v) for v in plan.values())
+        # per-disk policy: all 16 hot blocks live on disk 0, cap 8
+        from repro.hdc.planner import plan_pin_sets
+
+        home_only = plan_pin_sets(counts, system.striping, capacity)
+        assert pinned_coop > home_only.n_blocks

@@ -1,0 +1,107 @@
+"""Focused tests for behaviours not covered elsewhere."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.utilization import average_seek_of
+from repro.cache.block import BlockCache
+from repro.cache.segment import SegmentCache
+from repro.config import DiskParams, ReadAheadKind, ultrastar_36z15_config
+from repro.controller.commands import DiskCommand
+from repro.scheduling.base import QueuedRequest
+from repro.units import KB
+from repro.workloads.trace import TraceMeta
+
+
+class TestAverageSeek:
+    def test_table1_drive_average_near_3_4ms(self):
+        avg = average_seek_of(DiskParams(), 4 * KB)
+        assert avg == pytest.approx(3.4, rel=0.15)
+
+    def test_small_disk_has_smaller_average(self):
+        small = average_seek_of(
+            DiskParams(capacity_bytes=1_000_000_000), 4 * KB
+        )
+        big = average_seek_of(DiskParams(), 4 * KB)
+        assert small < big
+
+
+class TestQueuedRequest:
+    def test_fields(self):
+        req = QueuedRequest(5, "payload", 1.0, 7)
+        assert req.cylinder == 5
+        assert req.payload == "payload"
+        assert req.enqueued_at == 1.0
+        assert req.seq == 7
+
+
+class TestTraceMeta:
+    def test_defaults_match_paper(self):
+        meta = TraceMeta()
+        assert meta.n_streams == 128
+        assert meta.coalesce_prob == pytest.approx(0.87)
+        assert meta.block_size == 4096
+
+
+class TestConfigDescribe:
+    def test_for_config_shows_bitmap(self):
+        text = ultrastar_36z15_config(
+            readahead=ReadAheadKind.FILE_ORIENTED
+        ).describe()
+        assert "536 KBytes" in text
+
+    def test_blind_config_shows_no_bitmap(self):
+        text = ultrastar_36z15_config().describe()
+        assert "(none)" in text
+
+
+class TestSegmentCacheEdges:
+    def test_anonymous_stream_fills_allocate_fresh_segments(self):
+        cache = SegmentCache(4, 4)
+        cache.fill([0, 1], stream_hint=-1)
+        cache.fill([10, 11], stream_hint=-1)
+        assert cache.segments_in_use == 2  # no stream reuse for -1
+
+    def test_empty_fill_is_noop(self):
+        cache = SegmentCache(4, 4)
+        cache.fill([], stream_hint=0)
+        assert len(cache) == 0
+
+    def test_fill_of_only_cached_blocks_allocates_nothing(self):
+        cache = SegmentCache(4, 4)
+        cache.fill([1, 2], stream_hint=0)
+        cache.fill([1, 2], stream_hint=1)
+        assert cache.segments_in_use == 1
+
+
+class TestBlockCacheInterleaving:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["fill", "access", "invalidate"]),
+                st.integers(min_value=0, max_value=40),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=50)
+    def test_interleaved_ops_keep_invariants(self, ops):
+        cache = BlockCache(12)
+        for op, block in ops:
+            if op == "fill":
+                cache.fill([block])
+            elif op == "access":
+                cache.access([block])
+            else:
+                cache.invalidate(block)
+            assert len(cache) <= 12
+            # internal pools are disjoint
+            shared = set(cache._accessed) & set(cache._unaccessed)
+            assert not shared
+
+
+class TestDiskCommandRepr:
+    def test_repr_shows_direction_and_span(self):
+        text = repr(DiskCommand(3, 100, 4, is_write=True))
+        assert "W" in text and "disk=3" in text and "[100,104)" in text

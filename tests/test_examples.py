@@ -1,0 +1,41 @@
+"""The example scripts: importable, and their helpers behave."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "web_server_study", "hdc_planning", "custom_drive", "trace_anatomy"],
+)
+def test_example_imports_cleanly(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_custom_drive_fabrication_recovers_curve():
+    import numpy as np
+
+    from repro.config import SeekParams
+    from repro.mechanics.seek import fit_seek_params
+
+    module = load_example("custom_drive")
+    true = SeekParams(alpha=0.75, beta=0.030, gamma=1.20, delta=0.00042, theta=900)
+    distances, times = module.fabricate_measurements(
+        true, np.random.default_rng(0)
+    )
+    fitted = fit_seek_params(distances, times, theta=900)
+    assert fitted.alpha == pytest.approx(true.alpha, rel=0.15)
+    assert fitted.delta == pytest.approx(true.delta, rel=0.15)

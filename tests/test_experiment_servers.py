@@ -1,0 +1,90 @@
+"""The shared server-sweep drivers (experiments.servers)."""
+
+import math
+
+import pytest
+
+from repro.experiments.servers import (
+    HDC_SIZES_KB,
+    STRIPING_UNITS_KB,
+    build_two_periods,
+    hdc_sweep,
+    striping_sweep,
+)
+from repro.units import KB
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+
+def tiny_workload():
+    spec = SyntheticSpec(
+        n_requests=120, n_files=300, file_size_bytes=16 * KB, n_streams=8
+    )
+    return SyntheticWorkload(spec).build()
+
+
+class TestStripingSweep:
+    def test_produces_all_four_series(self):
+        result = striping_sweep(
+            "figXX",
+            "test sweep",
+            tiny_workload,
+            units_kb=(16, 128),
+            hdc_pin_fraction=0.1,
+        )
+        assert result.x_values == [16, 128]
+        for name in ("Segm", "Segm+HDC", "FOR", "FOR+HDC"):
+            series = result.get(name)
+            assert len(series) == 2
+            assert all(v > 0 for v in series)
+
+    def test_notes_describe_trace(self):
+        result = striping_sweep(
+            "figXX", "t", tiny_workload, units_kb=(128,)
+        )
+        assert any("records" in n for n in result.notes)
+
+
+class TestHdcSweep:
+    def test_hit_rate_series_present(self):
+        result = hdc_sweep(
+            "figYY",
+            "test hdc sweep",
+            tiny_workload,
+            striping_unit_kb=128,
+            hdc_sizes_kb=(0, 512),
+        )
+        hits = result.get("hdc_hit_rate")
+        assert len(hits) == 2
+        assert hits[0] == 0.0  # no HDC region, no hits
+
+    def test_infeasible_config_yields_nan(self):
+        result = hdc_sweep(
+            "figYY",
+            "t",
+            tiny_workload,
+            striping_unit_kb=128,
+            hdc_sizes_kb=(3840,),  # + FOR bitmap > 4 MB cache
+        )
+        assert math.isnan(result.get("FOR+HDC")[0])
+        # Segm+HDC at 3.75 MB is feasible (no bitmap): real number
+        assert not math.isnan(result.get("Segm+HDC")[0])
+
+
+class TestBuildTwoPeriods:
+    def test_layout_shared_traces_differ(self):
+        def make(period):
+            return SyntheticWorkload(
+                SyntheticSpec(n_requests=100, n_files=200, period=period)
+            )
+
+        layout, trace, history = build_two_periods(make)
+        assert layout.n_files == 200
+        assert len(trace) == len(history) == 100
+        assert list(trace) != list(history)
+
+
+class TestSweepConstants:
+    def test_paper_sweep_ranges(self):
+        assert STRIPING_UNITS_KB == (4, 8, 16, 32, 64, 128, 256)
+        assert HDC_SIZES_KB[0] == 0
+        assert HDC_SIZES_KB[-1] == 3072

@@ -1,0 +1,182 @@
+"""File-system layer: files, allocator, layout, FOR bitmap construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array.striping import StripingLayout
+from repro.errors import LayoutError
+from repro.fs.allocator import SequentialAllocator
+from repro.fs.bitmap_builder import build_bitmaps, measure_sequential_runs
+from repro.fs.files import Extent, FileInfo
+from repro.fs.layout import FileSystemLayout
+
+
+class TestExtentAndFileInfo:
+    def test_extent_validation(self):
+        with pytest.raises(LayoutError):
+            Extent(0, 0)
+        with pytest.raises(LayoutError):
+            Extent(-1, 4)
+
+    def test_file_needs_extents(self):
+        with pytest.raises(LayoutError):
+            FileInfo(0, [])
+
+    def test_blocks_iterate_in_order(self):
+        info = FileInfo(0, [Extent(10, 2), Extent(20, 3)])
+        assert list(info.blocks()) == [10, 11, 20, 21, 22]
+        assert info.size_blocks == 5
+
+    def test_block_at(self):
+        info = FileInfo(0, [Extent(10, 2), Extent(20, 3)])
+        assert info.block_at(0) == 10
+        assert info.block_at(2) == 20
+        assert info.block_at(4) == 22
+        with pytest.raises(LayoutError):
+            info.block_at(5)
+
+    def test_logical_runs_full(self):
+        info = FileInfo(0, [Extent(10, 2), Extent(20, 3)])
+        assert info.logical_runs(0, 5) == [(10, 2), (20, 3)]
+
+    def test_logical_runs_partial_spanning_extents(self):
+        info = FileInfo(0, [Extent(10, 2), Extent(20, 3)])
+        assert info.logical_runs(1, 3) == [(11, 1), (20, 2)]
+
+    def test_logical_runs_merges_adjacent_extents(self):
+        info = FileInfo(0, [Extent(10, 2), Extent(12, 2)])
+        assert info.logical_runs(0, 4) == [(10, 4)]
+
+    def test_logical_runs_bounds(self):
+        info = FileInfo(0, [Extent(10, 2)])
+        with pytest.raises(LayoutError):
+            info.logical_runs(0, 3)
+        with pytest.raises(LayoutError):
+            info.logical_runs(1, 0)
+
+
+class TestAllocator:
+    def test_zero_frag_is_contiguous(self):
+        alloc = SequentialAllocator(1000, frag_prob=0.0)
+        extents = alloc.allocate(10)
+        assert extents == [Extent(0, 10)]
+        assert alloc.allocate(5) == [Extent(10, 5)]
+
+    def test_full_frag_breaks_every_boundary(self):
+        alloc = SequentialAllocator(10_000, frag_prob=1.0, rng=np.random.default_rng(0))
+        extents = alloc.allocate(5)
+        assert len(extents) == 5
+        assert all(e.n_blocks == 1 for e in extents)
+
+    def test_exhaustion_raises(self):
+        alloc = SequentialAllocator(10)
+        with pytest.raises(LayoutError):
+            alloc.allocate(11)
+
+    def test_bad_params(self):
+        with pytest.raises(LayoutError):
+            SequentialAllocator(0)
+        with pytest.raises(LayoutError):
+            SequentialAllocator(10, frag_prob=1.5)
+        with pytest.raises(LayoutError):
+            SequentialAllocator(10).allocate(0)
+
+    @given(
+        frag=st.floats(min_value=0.0, max_value=1.0),
+        size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40)
+    def test_allocation_covers_exactly_size(self, frag, size):
+        alloc = SequentialAllocator(
+            100_000, frag_prob=frag, rng=np.random.default_rng(1)
+        )
+        extents = alloc.allocate(size)
+        assert sum(e.n_blocks for e in extents) == size
+        # extents strictly increase and never overlap
+        for a, b in zip(extents, extents[1:]):
+            assert b.start > a.end - 1
+
+
+class TestLayout:
+    def test_build_assigns_sequential_ids(self):
+        layout = FileSystemLayout.build([4, 2, 8], 1000)
+        assert layout.n_files == 3
+        assert layout.file(1).size_blocks == 2
+        assert layout.footprint_blocks == 14
+
+    def test_unknown_file_rejected(self):
+        layout = FileSystemLayout.build([4], 1000)
+        with pytest.raises(LayoutError):
+            layout.file(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            FileSystemLayout.build([], 1000)
+
+    def test_observed_fragmentation_close_to_requested(self):
+        rng = np.random.default_rng(3)
+        layout = FileSystemLayout.build(
+            [16] * 500, 100_000, frag_prob=0.1, rng=rng
+        )
+        assert layout.fragmentation_observed == pytest.approx(0.1, abs=0.02)
+
+    def test_partial_runs(self):
+        layout = FileSystemLayout.build([8], 100)
+        assert layout.partial_runs(0, 2, 3) == [(2, 3)]
+
+
+class TestBitmapBuilder:
+    def test_contiguous_file_sets_all_but_first(self):
+        layout = FileSystemLayout.build([8], 1000)
+        striping = StripingLayout(1, 1 << 20, 1000)
+        bitmap = build_bitmaps(layout, striping)[0]
+        assert not bitmap.is_continuation(0)
+        assert all(bitmap.is_continuation(b) for b in range(1, 8))
+        assert not bitmap.is_continuation(8)
+
+    def test_file_boundary_clears_bit(self):
+        layout = FileSystemLayout.build([4, 4], 1000)
+        striping = StripingLayout(1, 1 << 20, 1000)
+        bitmap = build_bitmaps(layout, striping)[0]
+        # block 4 starts the second file: not a continuation
+        assert not bitmap.is_continuation(4)
+        assert bitmap.is_continuation(5)
+
+    def test_striping_unit_boundary_clears_bit(self):
+        # 2 disks, 4-block units; an 8-block file crosses one boundary.
+        layout = FileSystemLayout.build([8], 1000)
+        striping = StripingLayout(2, 4, 1000)
+        bitmaps = build_bitmaps(layout, striping)
+        # disk 0 holds physical 0..3 (logical 0..3): bits 1..3 set
+        assert not bitmaps[0].is_continuation(0)
+        assert bitmaps[0].is_continuation(3)
+        # disk 1 holds logical 4..7 at physical 0..3: bit 0 clear (the
+        # file hops disks), bits 1..3 set
+        assert not bitmaps[1].is_continuation(0)
+        assert bitmaps[1].is_continuation(1)
+
+    def test_fragmentation_clears_bits(self):
+        rng = np.random.default_rng(0)
+        layout = FileSystemLayout.build([32] * 50, 100_000, frag_prob=0.5, rng=rng)
+        striping = StripingLayout(1, 1 << 20, 100_000)
+        bitmap = build_bitmaps(layout, striping)[0]
+        # roughly half the intra-file boundaries must be clear
+        total_boundaries = 50 * 31
+        assert bitmap.ones() < 0.75 * total_boundaries
+
+    def test_wide_stripe_single_unit_keeps_file_whole(self):
+        layout = FileSystemLayout.build([8], 1000)
+        striping = StripingLayout(4, 32, 1000)  # unit holds the file
+        bitmaps = build_bitmaps(layout, striping)
+        assert bitmaps[0].ones() == 7
+
+    def test_measured_runs_match_expectation_at_zero_frag(self):
+        layout = FileSystemLayout.build([16] * 100, 10_000)
+        striping = StripingLayout(1, 1 << 20, 10_000)
+        assert measure_sequential_runs(layout, striping) == pytest.approx(16.0)
+
+    def test_measured_runs_shrink_with_striping(self):
+        layout = FileSystemLayout.build([16] * 100, 10_000)
+        narrow = StripingLayout(4, 4, 10_000)  # 4-block units
+        assert measure_sequential_runs(layout, narrow) == pytest.approx(4.0)

@@ -1,0 +1,73 @@
+"""LBA-to-physical translation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DiskParams
+from repro.errors import AddressError
+from repro.geometry.disk_geometry import DiskGeometry
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(DiskParams(capacity_bytes=64 * MB), block_size=4 * KB)
+
+
+def test_block_size_must_be_sector_multiple():
+    with pytest.raises(AddressError):
+        DiskGeometry(DiskParams(), block_size=1000)
+
+
+def test_counts_are_consistent(geometry):
+    assert geometry.sectors_per_block == 8
+    assert geometry.blocks_per_track == 440 // 8
+    assert geometry.blocks_per_cylinder == geometry.blocks_per_track * 8
+    assert geometry.n_blocks == 64 * MB // (4 * KB)
+
+
+def test_cylinder_of_first_and_last_block(geometry):
+    assert geometry.cylinder_of(0) == 0
+    last = geometry.n_blocks - 1
+    assert geometry.cylinder_of(last) == geometry.n_cylinders - 1
+
+
+def test_position_of_is_bounds_checked(geometry):
+    with pytest.raises(AddressError):
+        geometry.position_of(geometry.n_blocks)
+    with pytest.raises(AddressError):
+        geometry.position_of(-1)
+
+
+def test_position_components_in_range(geometry):
+    pos = geometry.position_of(12345)
+    assert 0 <= pos.cylinder < geometry.n_cylinders
+    assert 0 <= pos.track < 8
+    assert 0 <= pos.sector < 440
+
+
+def test_seek_distance_symmetric(geometry):
+    a, b = 100, geometry.n_blocks - 1
+    assert geometry.seek_distance(a, b) == geometry.seek_distance(b, a)
+    assert geometry.seek_distance(a, a) == 0
+
+
+def test_clamp_run_stops_at_disk_end(geometry):
+    start = geometry.n_blocks - 3
+    assert geometry.clamp_run(start, 10) == 3
+    assert geometry.clamp_run(0, 10) == 10
+
+
+@given(st.integers(min_value=0, max_value=16383))
+def test_blocks_within_one_cylinder_have_same_cylinder(block):
+    geometry = DiskGeometry(DiskParams(capacity_bytes=64 * MB), block_size=4 * KB)
+    block = block % geometry.n_blocks
+    pos = geometry.position_of(block)
+    assert pos.cylinder == geometry.cylinder_of(block)
+    # consistency: reconstruct the block index from the position
+    rebuilt = (
+        pos.cylinder * geometry.blocks_per_cylinder
+        + pos.track * geometry.blocks_per_track
+        + pos.sector // geometry.sectors_per_block
+    )
+    assert rebuilt == block

@@ -1,0 +1,52 @@
+"""§5's HDC sizing formulas."""
+
+import pytest
+
+from repro.analysis.hdc_sizing import (
+    for_frees_more_memory,
+    hdc_max_blocks,
+    rmin_blind,
+    rmin_for,
+)
+from repro.errors import ConfigError
+
+
+def test_rmin_blind_is_streams_times_segment():
+    # Table 1: c = 1024 blocks, s = 27 -> segment ~ 37.9 blocks
+    assert rmin_blind(128, 1024, 27) == pytest.approx(128 * 1024 / 27)
+
+
+def test_rmin_for_is_streams_times_file():
+    assert rmin_for(128, 4.0) == 512.0
+
+
+def test_for_needs_less_for_small_files():
+    # 16-KB files (4 blocks) << 128-KB segments (32+ blocks)
+    assert for_frees_more_memory(128, 1024, 27, 4.0)
+
+
+def test_for_needs_more_for_huge_files():
+    assert not for_frees_more_memory(128, 1024, 27, 64.0)
+
+
+def test_hmax_subtracts_rmin():
+    assert hdc_max_blocks(8, 1024, 512.0) == 8 * 1024 - 512
+
+
+def test_hmax_clamps_at_zero():
+    assert hdc_max_blocks(2, 10, 1e9) == 0.0
+
+
+def test_paper_consistency_hmax_larger_under_for():
+    blind = hdc_max_blocks(8, 1024, rmin_blind(128, 1024, 27))
+    fo = hdc_max_blocks(8, 1024, rmin_for(128, 4.0))
+    assert fo > blind
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigError):
+        rmin_blind(0, 1024, 27)
+    with pytest.raises(ConfigError):
+        rmin_for(128, 0)
+    with pytest.raises(ConfigError):
+        hdc_max_blocks(8, 1024, -1.0)

@@ -1,0 +1,74 @@
+"""Record-level latency collection and percentiles."""
+
+import pytest
+
+from repro import SEGM, FOR, SyntheticSpec, SyntheticWorkload, TechniqueRunner
+from repro import ultrastar_36z15_config
+from repro.cache.base import CacheStats
+from repro.controller.stats import ControllerStats
+from repro.metrics.collector import RunResult
+from repro.units import KB
+
+
+def make_result(latencies):
+    return RunResult(
+        io_time_ms=100.0,
+        records=len(latencies),
+        commands=len(latencies),
+        blocks_requested=len(latencies),
+        block_size=4096,
+        controller=ControllerStats(),
+        cache=CacheStats(),
+        record_latencies_ms=latencies,
+    )
+
+
+class TestPercentiles:
+    def test_median_of_known_values(self):
+        result = make_result([1.0, 2.0, 3.0, 4.0])
+        assert result.latency_percentile(50) == 2.0
+        assert result.latency_percentile(100) == 4.0
+
+    def test_mean(self):
+        assert make_result([1.0, 3.0]).mean_latency_ms == 2.0
+
+    def test_empty_is_zero(self):
+        assert make_result([]).latency_percentile(99) == 0.0
+        assert make_result([]).mean_latency_ms == 0.0
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            make_result([1.0]).latency_percentile(0)
+        with pytest.raises(ValueError):
+            make_result([1.0]).latency_percentile(101)
+
+    def test_percentiles_monotone(self):
+        result = make_result(list(range(100, 0, -1)))
+        p50 = result.latency_percentile(50)
+        p95 = result.latency_percentile(95)
+        p99 = result.latency_percentile(99)
+        assert p50 <= p95 <= p99
+
+
+class TestReplayLatencies:
+    @pytest.fixture(scope="class")
+    def results(self):
+        spec = SyntheticSpec(n_requests=400, file_size_bytes=16 * KB)
+        layout, trace = SyntheticWorkload(spec).build()
+        runner = TechniqueRunner(layout, trace)
+        config = ultrastar_36z15_config()
+        return runner.run(config, SEGM), runner.run(config, FOR)
+
+    def test_every_record_has_a_latency(self, results):
+        segm, _ = results
+        assert len(segm.record_latencies_ms) == segm.records
+
+    def test_latencies_positive_and_bounded(self, results):
+        segm, _ = results
+        assert min(segm.record_latencies_ms) > 0
+        assert max(segm.record_latencies_ms) <= segm.io_time_ms
+
+    def test_for_improves_tail_latency_too(self, results):
+        segm, fo = results
+        assert fo.latency_percentile(95) < segm.latency_percentile(95)
+        assert fo.mean_latency_ms < segm.mean_latency_ms

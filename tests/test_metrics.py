@@ -1,0 +1,100 @@
+"""Metrics collection and table rendering."""
+
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.controller.stats import ControllerStats
+from repro.metrics.collector import RunResult
+from repro.metrics.report import format_table
+
+
+def make_result(io_time_ms=1000.0, blocks=100, **ctrl_kwargs):
+    ctrl = ControllerStats(**ctrl_kwargs)
+    ctrl.blocks_requested = blocks
+    return RunResult(
+        io_time_ms=io_time_ms,
+        records=10,
+        commands=20,
+        blocks_requested=blocks,
+        block_size=4096,
+        controller=ctrl,
+        cache=CacheStats(block_hits=60, block_misses=40),
+        disk_utilizations=[0.5, 0.7],
+        bus_utilization=0.1,
+    )
+
+
+class TestRunResult:
+    def test_time_units(self):
+        assert make_result(io_time_ms=2500.0).io_time_s == pytest.approx(2.5)
+
+    def test_throughput(self):
+        result = make_result(io_time_ms=1000.0, blocks=1000)
+        # 1000 x 4096 bytes over 1 s = 4.096 MB/s
+        assert result.throughput_mb_s == pytest.approx(4.096)
+
+    def test_zero_time_throughput(self):
+        assert make_result(io_time_ms=0.0).throughput_mb_s == 0.0
+
+    def test_cache_hit_rate(self):
+        assert make_result().cache_hit_rate == pytest.approx(0.6)
+
+    def test_hdc_hit_rate(self):
+        result = make_result(blocks=100, hdc_block_hits=25)
+        assert result.hdc_hit_rate == pytest.approx(0.25)
+
+    def test_utilization_aggregates(self):
+        result = make_result()
+        assert result.avg_disk_utilization == pytest.approx(0.6)
+        assert result.load_imbalance == pytest.approx(0.7 / 0.6)
+
+    def test_speedup_vs(self):
+        fast = make_result(io_time_ms=600.0)
+        slow = make_result(io_time_ms=1000.0)
+        assert fast.speedup_vs(slow) == pytest.approx(0.4)
+        assert slow.speedup_vs(fast) == pytest.approx(-2 / 3)
+
+
+class TestControllerStats:
+    def test_merge_sums_everything(self):
+        a = ControllerStats(commands=1, media_reads=2, hdc_block_hits=3)
+        b = ControllerStats(commands=10, media_reads=20, hdc_block_hits=30)
+        merged = a.merge(b)
+        assert merged.commands == 11
+        assert merged.media_reads == 22
+        assert merged.hdc_block_hits == 33
+
+    def test_readahead_ratio(self):
+        stats = ControllerStats(media_blocks_read=100, readahead_blocks=40)
+        assert stats.readahead_ratio == pytest.approx(0.4)
+        assert ControllerStats().readahead_ratio == 0.0
+
+
+class TestCacheStats:
+    def test_merge(self):
+        a = CacheStats(block_hits=1, block_misses=2, useless_evictions=3)
+        b = CacheStats(block_hits=10, block_misses=20, useless_evictions=30)
+        merged = a.merge(b)
+        assert merged.block_hits == 11
+        assert merged.useless_evictions == 33
+
+    def test_rates_with_zero_activity(self):
+        empty = CacheStats()
+        assert empty.hit_rate == 0.0
+        assert empty.pollution_rate == 0.0
+
+
+class TestFormatTable:
+    def test_columns_align(self):
+        text = format_table(["name", "v"], [["long-name", 1.5], ["x", 10]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("v") == lines[2].index("1.500")
+
+    def test_float_formatting(self):
+        text = format_table(["a"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

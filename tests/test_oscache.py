@@ -1,0 +1,177 @@
+"""OS layer: buffer cache, sequential prefetcher, coalescer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.oscache.buffer_cache import LRUBufferCache
+from repro.oscache.coalesce import Coalescer
+from repro.oscache.prefetch import SequentialPrefetcher
+
+
+class TestBufferCache:
+    def test_read_miss_then_hit(self):
+        cache = LRUBufferCache(4)
+        assert not cache.read(10)
+        cache.insert(10)
+        assert cache.read(10)
+        assert cache.read_hits == 1
+        assert cache.read_misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUBufferCache(2)
+        cache.insert(1)
+        cache.insert(2)
+        cache.read(1)  # refresh 1
+        cache.insert(3)  # evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = LRUBufferCache(2)
+        cache.write(1)
+        cache.insert(2)
+        evicted = cache.insert(3)
+        assert evicted == [1]
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_is_silent(self):
+        cache = LRUBufferCache(1)
+        cache.insert(1)
+        assert cache.insert(2) == []
+
+    def test_write_hit_marks_dirty_without_eviction(self):
+        cache = LRUBufferCache(2)
+        cache.insert(1)
+        hit, evicted = cache.write(1)
+        assert hit and evicted == []
+        assert cache.sync() == [1]
+
+    def test_sync_clears_dirty_once(self):
+        cache = LRUBufferCache(4)
+        cache.write(1)
+        cache.write(2)
+        assert sorted(cache.sync()) == [1, 2]
+        assert cache.sync() == []
+
+    def test_rewrite_same_block_merges(self):
+        """The mechanism turning 34% server writes into ~20% disk writes."""
+        cache = LRUBufferCache(4)
+        for _ in range(10):
+            cache.write(7)
+        assert cache.sync() == [7]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            LRUBufferCache(0)
+
+    def test_hit_rate(self):
+        cache = LRUBufferCache(4)
+        cache.insert(1)
+        cache.read(1)
+        cache.read(2)
+        assert cache.read_hit_rate == pytest.approx(0.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_never_exceeds_capacity(self, blocks):
+        cache = LRUBufferCache(8)
+        for b in blocks:
+            if b % 2:
+                cache.write(b)
+            else:
+                cache.insert(b)
+        assert len(cache) <= 8
+
+
+class TestPrefetcher:
+    def test_perfect_mode_fetches_to_end(self):
+        pf = SequentialPrefetcher(perfect=True)
+        assert pf.fetch_size(0, 0, 40) == 40
+        assert pf.fetch_size(0, 35, 40) == 5
+
+    def test_window_doubles_on_sequential_access(self):
+        pf = SequentialPrefetcher(max_window_blocks=16, initial_window_blocks=1)
+        sizes = []
+        offset = 0
+        for _ in range(6):
+            size = pf.fetch_size(1, offset, 1000)
+            sizes.append(size)
+            offset += size
+        assert sizes == [2, 4, 8, 16, 16, 16]
+
+    def test_random_access_resets_window(self):
+        pf = SequentialPrefetcher(max_window_blocks=16, initial_window_blocks=2)
+        pf.fetch_size(1, 0, 1000)
+        pf.fetch_size(1, 4, 1000)  # ramp continues? no: 4 == next_offset
+        size = pf.fetch_size(1, 500, 1000)  # random jump
+        assert size == 2
+
+    def test_never_past_file_end(self):
+        pf = SequentialPrefetcher(max_window_blocks=16, initial_window_blocks=8)
+        assert pf.fetch_size(1, 6, 8) == 2
+
+    def test_per_file_state_is_independent(self):
+        pf = SequentialPrefetcher(max_window_blocks=16, initial_window_blocks=1)
+        pf.fetch_size(1, 0, 100)
+        pf.fetch_size(1, 2, 100)
+        assert pf.fetch_size(2, 0, 100) == 2  # fresh file: initial ramp
+
+    def test_offset_bounds(self):
+        pf = SequentialPrefetcher()
+        with pytest.raises(ConfigError):
+            pf.fetch_size(1, 8, 8)
+
+    def test_forget_drops_state(self):
+        pf = SequentialPrefetcher(max_window_blocks=16, initial_window_blocks=1)
+        pf.fetch_size(1, 0, 100)
+        pf.forget(1)
+        assert pf.tracked_files() == 0
+
+    def test_bad_windows(self):
+        with pytest.raises(ConfigError):
+            SequentialPrefetcher(max_window_blocks=0)
+        with pytest.raises(ConfigError):
+            SequentialPrefetcher(max_window_blocks=4, initial_window_blocks=8)
+
+
+class TestCoalescer:
+    def test_prob_one_never_splits(self):
+        co = Coalescer(1.0)
+        assert co.split(10, 8) == [(10, 8)]
+        assert co.observed_prob == 1.0
+
+    def test_prob_zero_always_splits(self):
+        co = Coalescer(0.0, rng=np.random.default_rng(0))
+        assert co.split(10, 4) == [(10, 1), (11, 1), (12, 1), (13, 1)]
+
+    def test_single_block_never_splits(self):
+        co = Coalescer(0.0)
+        assert co.split(5, 1) == [(5, 1)]
+
+    def test_pieces_partition_the_run(self):
+        co = Coalescer(0.5, rng=np.random.default_rng(1))
+        pieces = co.split(100, 32)
+        assert sum(n for _, n in pieces) == 32
+        assert pieces[0][0] == 100
+        for (s1, n1), (s2, _n2) in zip(pieces, pieces[1:]):
+            assert s2 == s1 + n1
+
+    def test_observed_prob_converges(self):
+        co = Coalescer(0.87, rng=np.random.default_rng(2))
+        for _ in range(300):
+            co.split(0, 32)
+        assert co.observed_prob == pytest.approx(0.87, abs=0.02)
+
+    def test_split_many(self):
+        co = Coalescer(1.0)
+        assert co.split_many([(0, 4), (10, 2)]) == [(0, 4), (10, 2)]
+
+    def test_bad_prob_rejected(self):
+        with pytest.raises(ConfigError):
+            Coalescer(1.5)
+
+    def test_bad_run_rejected(self):
+        with pytest.raises(ConfigError):
+            Coalescer(0.5).split(0, 0)

@@ -1,0 +1,90 @@
+"""MVA queueing model, cross-validated against the event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import (
+    busy_time_bound_ms,
+    mva_closed,
+    predict_io_time_ms,
+)
+from repro.config import ArrayParams, ReadAheadKind, SchedulerKind, make_config
+from repro.errors import ConfigError
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.mechanics.seek import SeekModel
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta
+
+
+class TestMvaProperties:
+    def test_single_stream_no_queueing(self):
+        p = mva_closed(1, 8, 6.0)
+        assert p.response_ms == pytest.approx(6.0)
+        assert p.throughput_ops_ms == pytest.approx(1 / 6.0)
+
+    def test_throughput_saturates_at_capacity(self):
+        p = mva_closed(1000, 8, 6.0)
+        assert p.throughput_ops_ms == pytest.approx(8 / 6.0, rel=0.01)
+        assert p.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_throughput_monotone_in_streams(self):
+        xs = [mva_closed(n, 8, 6.0).throughput_ops_ms for n in (1, 4, 16, 64)]
+        assert xs == sorted(xs)
+
+    def test_response_monotone_in_streams(self):
+        rs = [mva_closed(n, 8, 6.0).response_ms for n in (1, 8, 64)]
+        assert rs == sorted(rs)
+
+    def test_busy_time_bound_is_lower_bound(self):
+        predicted = predict_io_time_ms(1000, 64, 8, 6.0)
+        bound = busy_time_bound_ms(1000, 8, 6.0)
+        assert predicted >= bound * 0.999
+
+    def test_zero_operations(self):
+        assert predict_io_time_ms(0, 4, 8, 6.0) == 0.0
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigError):
+            mva_closed(0, 8, 6.0)
+        with pytest.raises(ConfigError):
+            mva_closed(8, 8, 0.0)
+        with pytest.raises(ConfigError):
+            predict_io_time_ms(-1, 4, 8, 6.0)
+        with pytest.raises(ConfigError):
+            busy_time_bound_ms(10, 0, 6.0)
+
+
+class TestMvaVsSimulator:
+    @pytest.mark.parametrize("streams", [1, 8, 64])
+    def test_prediction_brackets_simulation(self, streams):
+        """FCFS + No-RA + random single-block reads is exactly the
+        system MVA models; simulated time must land near it."""
+        config = make_config(
+            array=ArrayParams(n_disks=8, striping_unit_bytes=128 * 1024),
+            scheduler=SchedulerKind.FCFS,
+            readahead=ReadAheadKind.NONE,
+            seed=5,
+        )
+        system = System(config)
+        rng = np.random.default_rng(5)
+        n_ops = 600
+        starts = rng.integers(0, system.striping.total_blocks - 4, size=n_ops)
+        trace = Trace(
+            [DiskAccess([(int(s), 1)]) for s in starts],
+            TraceMeta(n_streams=streams, coalesce_prob=1.0),
+        )
+        elapsed = ReplayDriver(system, trace).run()
+
+        disk = config.disk
+        geometry = system.controllers[0].drive.geometry
+        service = (
+            disk.command_overhead_ms
+            + SeekModel(disk.seek).average_seek_time(geometry.n_cylinders)
+            + disk.avg_rotational_latency_ms
+            + config.block_size / disk.transfer_rate_bytes_ms
+        )
+        predicted = predict_io_time_ms(n_ops, streams, 8, service)
+        # MVA assumes exponential service; the real mix (deterministic
+        # transfer + uniform rotation + seek) is less variable, so the
+        # simulator should be same-order, within ~35%.
+        assert predicted * 0.6 < elapsed < predicted * 1.45

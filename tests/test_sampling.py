@@ -1,0 +1,72 @@
+"""Queue-depth sampling during replay."""
+
+import pytest
+
+from repro.config import ArrayParams, make_config
+from repro.errors import ConfigError
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.metrics.sampling import LoadSample, QueueDepthSampler
+from repro.units import KB
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta
+
+
+def make_system(small_disk, small_cache, n_disks=2):
+    config = make_config(
+        disk=small_disk,
+        cache=small_cache,
+        array=ArrayParams(n_disks=n_disks, striping_unit_bytes=16 * KB),
+        seed=8,
+    )
+    return System(config)
+
+
+def test_interval_validated(small_disk, small_cache):
+    system = make_system(small_disk, small_cache)
+    with pytest.raises(ConfigError):
+        QueueDepthSampler(system, interval_ms=0)
+
+
+def test_samples_collected_during_replay(small_disk, small_cache):
+    system = make_system(small_disk, small_cache)
+    sampler = QueueDepthSampler(system, interval_ms=1.0)
+    records = [DiskAccess([(i * 8, 2)]) for i in range(60)]
+    trace = Trace(records, TraceMeta(n_streams=8, coalesce_prob=1.0))
+    ReplayDriver(system, trace).run()
+    sampler.stop()
+    assert len(sampler.samples) > 5
+    assert all(len(s.queue_depths) == 2 for s in sampler.samples)
+
+
+def test_outstanding_counts_busy_drive(small_disk, small_cache):
+    sample = LoadSample(1.0, queue_depths=[3, 0], busy_flags=[True, False])
+    assert sample.outstanding == [4, 0]
+
+
+def test_stop_cancels_future_ticks(small_disk, small_cache):
+    system = make_system(small_disk, small_cache)
+    sampler = QueueDepthSampler(system, interval_ms=1.0)
+    sampler.stop()
+    system.sim.run()  # drains instantly; no self-rescheduling left
+    assert system.sim.pending == 0
+    assert sampler.samples == []
+
+
+def test_imbalance_metrics(small_disk, small_cache):
+    system = make_system(small_disk, small_cache)
+    sampler = QueueDepthSampler(system, interval_ms=1.0)
+    # all load aimed at disk 0 (blocks within the first striping unit)
+    records = [DiskAccess([(0, 1)], is_write=True) for _ in range(40)]
+    trace = Trace(records, TraceMeta(n_streams=8, coalesce_prob=1.0))
+    ReplayDriver(system, trace).run()
+    sampler.stop()
+    means = sampler.mean_outstanding_per_disk()
+    assert means[0] > means[1]
+    assert sampler.imbalance() > 1.5
+
+
+def test_imbalance_defaults_to_balanced(small_disk, small_cache):
+    system = make_system(small_disk, small_cache)
+    sampler = QueueDepthSampler(system, interval_ms=1.0)
+    sampler.stop()
+    assert sampler.imbalance() == 1.0

@@ -1,0 +1,122 @@
+"""Server workload generators: statistical targets from §6.3."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.fileserver import FileServerSpec, FileServerWorkload
+from repro.workloads.proxy import ProxyServerSpec, ProxyServerWorkload
+from repro.workloads.trace import count_block_accesses
+from repro.workloads.webserver import WebServerSpec, WebServerWorkload
+
+SCALE = 0.01  # tiny but statistically meaningful
+
+
+@pytest.fixture(scope="module")
+def web():
+    return WebServerWorkload(WebServerSpec(scale=SCALE)).build()
+
+
+@pytest.fixture(scope="module")
+def proxy():
+    return ProxyServerWorkload(ProxyServerSpec(scale=SCALE)).build()
+
+
+@pytest.fixture(scope="module")
+def fileserver():
+    return FileServerWorkload(FileServerSpec(scale=SCALE)).build()
+
+
+class TestWebServer:
+    def test_scale_validation(self):
+        with pytest.raises(WorkloadError):
+            WebServerSpec(scale=0.0).validate()
+        with pytest.raises(WorkloadError):
+            WebServerSpec(scale=2.0).validate()
+
+    def test_write_fraction_near_paper(self, web):
+        _, trace = web
+        assert 0.005 < trace.write_fraction < 0.08  # paper: 2%
+
+    def test_records_stay_within_layout(self, web):
+        layout, trace = web
+        top = max(max(s + n for s, n in r.runs) for r in trace)
+        assert top <= layout.total_blocks
+
+    def test_popularity_is_flattened_by_buffer_cache(self, web):
+        """Disk-trace hottest block must be orders below request count."""
+        _, trace = web
+        counts = count_block_accesses(trace)
+        hottest = max(counts.values())
+        server_requests = trace.meta.extra["server_requests"]
+        assert hottest < server_requests / 25
+
+    def test_stream_count_is_16(self, web):
+        _, trace = web
+        assert trace.meta.n_streams == 16
+
+    def test_deterministic(self):
+        spec = WebServerSpec(scale=0.002)
+        _, a = WebServerWorkload(spec).build()
+        _, b = WebServerWorkload(spec).build()
+        assert list(a) == list(b)
+
+
+class TestProxy:
+    def test_write_fraction_near_paper(self, proxy):
+        _, trace = proxy
+        assert 0.08 < trace.write_fraction < 0.40  # paper: 19%
+
+    def test_proxy_miss_rate_recorded(self, proxy):
+        _, trace = proxy
+        assert 0.0 < trace.meta.extra["proxy_miss_rate"] < 1.0
+
+    def test_mean_object_smaller_than_web(self, proxy, web):
+        _, ptrace = proxy
+        _, wtrace = web
+        p_layout_mean = ptrace.meta.footprint_blocks / ptrace.meta.n_files
+        w_layout_mean = wtrace.meta.footprint_blocks / wtrace.meta.n_files
+        assert p_layout_mean < w_layout_mean  # 8.3 KB vs 21.5 KB
+
+    def test_streams_128(self, proxy):
+        _, trace = proxy
+        assert trace.meta.n_streams == 128
+
+
+class TestFileServer:
+    def test_write_fraction_merged_down(self, fileserver):
+        """Write-back merging: 34% server writes -> ~20-40% of disk log."""
+        _, trace = fileserver
+        assert 0.1 < trace.write_fraction < 0.45
+
+    def test_footprint_is_largest(self, fileserver, web):
+        _, ftrace = fileserver
+        _, wtrace = web
+        f_mean = ftrace.meta.footprint_blocks / ftrace.meta.n_files
+        w_mean = wtrace.meta.footprint_blocks / wtrace.meta.n_files
+        assert f_mean > 5 * w_mean  # ~550 KB vs ~21.5 KB files
+
+    def test_partial_accesses_are_small(self, fileserver):
+        _, trace = fileserver
+        read_blocks = [r.n_blocks for r in trace if not r.is_write]
+        avg = sum(read_blocks) / len(read_blocks)
+        assert avg <= 8  # prefetch window bounds reads
+
+    def test_buffer_cache_scale_boost(self):
+        small = FileServerSpec(scale=0.01)
+        assert small.buffer_cache_blocks * small.block_size >= 30 * 1024 * 1024
+
+    def test_bad_specs(self):
+        with pytest.raises(WorkloadError):
+            FileServerSpec(scale=0).validate()
+        with pytest.raises(WorkloadError):
+            FileServerSpec(sequential_prob=1.5).validate()
+
+
+class TestCrossServerProperties:
+    def test_all_traces_nonempty(self, web, proxy, fileserver):
+        for _, trace in (web, proxy, fileserver):
+            assert len(trace) > 100
+
+    def test_coalesce_prob_is_87_percent(self, web, proxy, fileserver):
+        for _, trace in (web, proxy, fileserver):
+            assert trace.meta.coalesce_prob == pytest.approx(0.87)

@@ -1,0 +1,142 @@
+"""Event queue and simulator engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, order.append, ("c",))
+        queue.push(1.0, order.append, ("a",))
+        queue.push(2.0, order.append, ("b",))
+        while queue:
+            event = queue.pop()
+            event.fn(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        keeper = queue.push(2.0, lambda: None)
+        event.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+        assert queue.pop() is keeper
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 5.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_pop_order_is_sorted_for_any_times(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(times)
+
+
+class TestSimulator:
+    def test_clock_advances_monotonically(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("zero"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "zero"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_chained_scheduling(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick(n):
+            ticks.append(sim.now)
+            if n > 0:
+                sim.schedule(2.0, tick, n - 1)
+
+        sim.schedule(0.0, tick, 3)
+        sim.run()
+        assert ticks == [0.0, 2.0, 4.0, 6.0]

@@ -1,0 +1,88 @@
+"""FIFO resource semantics and utilisation accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+def test_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    granted = []
+    resource.acquire(lambda: granted.append(1))
+    resource.acquire(lambda: granted.append(2))
+    resource.acquire(lambda: granted.append(3))
+    sim.run()
+    assert granted == [1, 2]
+    assert resource.queue_length == 1
+
+
+def test_release_grants_oldest_waiter():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+    resource.acquire(lambda: order.append("a"))
+    resource.acquire(lambda: order.append("b"))
+    resource.acquire(lambda: order.append("c"))
+    sim.run()
+    assert order == ["a"]
+    resource.release()
+    sim.run()
+    assert order == ["a", "b"]
+    resource.release()
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_on_idle_raises():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_hold_serializes_and_times_transfers():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    done = []
+    resource.hold(10.0, lambda: done.append(sim.now))
+    resource.hold(5.0, lambda: done.append(sim.now))
+    sim.run()
+    # Second transfer starts only after the first releases.
+    assert done == [10.0, 15.0]
+    assert resource.in_use == 0
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.hold(10.0, lambda: None)
+    resource.hold(10.0, lambda: None)
+    sim.run()
+    assert resource.busy_time == pytest.approx(20.0)
+    assert resource.utilization(sim.now) == pytest.approx(1.0)
+
+
+def test_utilization_fraction_of_elapsed():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.hold(10.0, lambda: None)
+    sim.run()
+    sim.schedule(30.0, lambda: None)
+    sim.run()
+    assert resource.utilization(sim.now) == pytest.approx(0.25)
+
+
+def test_max_queue_len_tracked():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    for _ in range(4):
+        resource.acquire(lambda: None)
+    assert resource.max_queue_len == 3

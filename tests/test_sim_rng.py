@@ -1,0 +1,46 @@
+"""Deterministic named random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_and_name_reproduce():
+    a = RandomStreams(7).stream("disk0.rotation").random(10)
+    b = RandomStreams(7).stream("disk0.rotation").random(10)
+    assert (a == b).all()
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = streams.stream("a").random(10)
+    b = streams.stream("b").random(10)
+    assert not (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x").random(10)
+    b = RandomStreams(2).stream("x").random(10)
+    assert not (a == b).all()
+
+
+def test_stream_is_cached_not_recreated():
+    streams = RandomStreams(7)
+    first = streams.stream("x")
+    assert streams.stream("x") is first
+
+
+def test_creation_order_does_not_matter():
+    one = RandomStreams(3)
+    _ = one.stream("a").random(5)
+    a_then = one.stream("b").random(5)
+
+    two = RandomStreams(3)
+    b_only = two.stream("b").random(5)
+    assert (a_then == b_only).all()
+
+
+def test_fork_gives_different_family():
+    base = RandomStreams(7)
+    forked = base.fork(1)
+    a = base.stream("x").random(5)
+    b = forked.stream("x").random(5)
+    assert not (a == b).all()

@@ -1,0 +1,114 @@
+"""Distributional correctness of the stochastic components (scipy).
+
+These go beyond spot checks: chi-square and Kolmogorov-Smirnov tests
+confirm the samplers actually produce the distributions the paper's
+methodology assumes (Bradford-Zipf popularity, uniform rotational
+latency, geometric fragmentation gaps, Bernoulli coalescing).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.config import DiskParams
+from repro.fs.allocator import SequentialAllocator
+from repro.mechanics.rotation import RotationModel
+from repro.oscache.coalesce import Coalescer
+from repro.workloads.zipf import ZipfSampler
+
+ALPHA_LEVEL = 1e-3  # reject only on overwhelming evidence
+
+
+class TestZipfDistribution:
+    @pytest.mark.parametrize("alpha", [0.0, 0.4, 1.0])
+    def test_chi_square_against_theoretical_pmf(self, alpha):
+        n, draws = 50, 200_000
+        sampler = ZipfSampler(n, alpha, rng=np.random.default_rng(1))
+        observed = np.bincount(sampler.sample(draws), minlength=n)
+        weights = np.arange(1, n + 1, dtype=float) ** (-alpha)
+        expected = draws * weights / weights.sum()
+        _stat, p = sps.chisquare(observed, expected)
+        assert p > ALPHA_LEVEL
+
+    def test_rank_one_frequency_matches_probability(self):
+        sampler = ZipfSampler(1000, 0.8, rng=np.random.default_rng(2))
+        draws = sampler.sample(100_000)
+        empirical = (draws == 0).mean()
+        assert empirical == pytest.approx(sampler.probability(0), rel=0.05)
+
+
+class TestRotationDistribution:
+    def test_ks_against_uniform(self):
+        disk = DiskParams()
+        model = RotationModel(disk, rng=np.random.default_rng(3))
+        samples = np.array([model.latency() for _ in range(20_000)])
+        _stat, p = sps.kstest(samples, "uniform", args=(0.0, disk.rotation_ms))
+        assert p > ALPHA_LEVEL
+
+
+class TestCoalescingBernoulli:
+    def test_boundary_decisions_are_bernoulli(self):
+        prob = 0.87
+        co = Coalescer(prob, rng=np.random.default_rng(4))
+        merged = 0
+        total = 0
+        for _ in range(2_000):
+            pieces = co.split(0, 33)  # 32 boundaries each
+            merged += 33 - len(pieces)
+            total += 32
+        # normal approximation confidence interval
+        se = (prob * (1 - prob) / total) ** 0.5
+        assert abs(merged / total - prob) < 5 * se
+
+    def test_piece_lengths_geometric(self):
+        """Run lengths of merged boundaries follow a geometric law."""
+        co = Coalescer(0.5, rng=np.random.default_rng(5))
+        lengths = []
+        for _ in range(3_000):
+            lengths.extend(n for _s, n in co.split(0, 64))
+        lengths = np.array(lengths)
+        # interior pieces ~ Geometric(0.5): mean 2
+        assert lengths.mean() == pytest.approx(2.0, rel=0.1)
+
+
+class TestFragmentationGaps:
+    def test_break_rate_matches_probability(self):
+        frag = 0.15
+        alloc = SequentialAllocator(
+            10_000_000, frag_prob=frag, rng=np.random.default_rng(6)
+        )
+        breaks = 0
+        boundaries = 0
+        for _ in range(800):
+            extents = alloc.allocate(32)
+            breaks += len(extents) - 1
+            boundaries += 31
+        se = (frag * (1 - frag) / boundaries) ** 0.5
+        assert abs(breaks / boundaries - frag) < 5 * se
+
+    def test_gap_sizes_have_configured_mean(self):
+        mean_gap = 16.0
+        alloc = SequentialAllocator(
+            50_000_000,
+            frag_prob=1.0,
+            rng=np.random.default_rng(7),
+            mean_gap_blocks=mean_gap,
+        )
+        gaps = []
+        for _ in range(300):
+            extents = alloc.allocate(16)
+            for a, b in zip(extents, extents[1:]):
+                gaps.append(b.start - a.end)
+        # gap = 1 + Geometric(1/mean): mean ~ 1 + mean_gap
+        assert np.mean(gaps) == pytest.approx(1 + mean_gap, rel=0.15)
+
+
+class TestSeededIndependence:
+    def test_rotation_streams_uncorrelated_across_disks(self):
+        from repro.sim.rng import RandomStreams
+
+        streams = RandomStreams(9)
+        a = streams.stream("disk0.rotation").random(5_000)
+        b = streams.stream("disk1.rotation").random(5_000)
+        r, _p = sps.pearsonr(a, b)
+        assert abs(r) < 0.05

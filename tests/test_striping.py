@@ -1,0 +1,111 @@
+"""Striping layout: logical-physical mapping and run splitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.array.striping import StripingLayout
+from repro.errors import AddressError, ConfigError
+
+
+@pytest.fixture
+def layout():
+    # 4 disks, 8-block units, 1024 blocks per disk
+    return StripingLayout(n_disks=4, unit_blocks=8, disk_blocks=1024)
+
+
+class TestConstruction:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigError):
+            StripingLayout(0, 8, 100)
+        with pytest.raises(ConfigError):
+            StripingLayout(4, 0, 100)
+        with pytest.raises(ConfigError):
+            StripingLayout(4, 8, 0)
+
+
+class TestLocate:
+    def test_round_robin_units(self, layout):
+        assert layout.locate(0) == (0, 0)
+        assert layout.locate(7) == (0, 7)
+        assert layout.locate(8) == (1, 0)
+        assert layout.locate(16) == (2, 0)
+        assert layout.locate(24) == (3, 0)
+        assert layout.locate(32) == (0, 8)  # wraps back to disk 0
+
+    def test_bounds(self, layout):
+        with pytest.raises(AddressError):
+            layout.locate(-1)
+        with pytest.raises(AddressError):
+            layout.locate(layout.total_blocks)
+
+    def test_inverse_bounds(self, layout):
+        with pytest.raises(AddressError):
+            layout.logical_of(4, 0)
+        with pytest.raises(AddressError):
+            layout.logical_of(0, 1024)
+
+    @given(st.integers(min_value=0, max_value=4 * 1024 - 1))
+    def test_locate_roundtrip(self, lb):
+        layout = StripingLayout(4, 8, 1024)
+        disk, phys = layout.locate(lb)
+        assert layout.logical_of(disk, phys) == lb
+
+
+class TestMapRun:
+    def test_within_one_unit(self, layout):
+        runs = layout.map_run(2, 4)
+        assert len(runs) == 1
+        assert (runs[0].disk, runs[0].start, runs[0].n_blocks) == (0, 2, 4)
+
+    def test_split_at_unit_boundary(self, layout):
+        runs = layout.map_run(6, 4)
+        assert [(r.disk, r.start, r.n_blocks) for r in runs] == [
+            (0, 6, 2),
+            (1, 0, 2),
+        ]
+
+    def test_large_run_covers_all_disks(self, layout):
+        runs = layout.map_run(0, 32)
+        assert [r.disk for r in runs] == [0, 1, 2, 3]
+        assert all(r.n_blocks == 8 for r in runs)
+
+    def test_wraparound_merges_on_single_disk(self):
+        solo = StripingLayout(1, 8, 1024)
+        runs = solo.map_run(4, 20)
+        assert len(runs) == 1
+        assert runs[0].n_blocks == 20
+
+    def test_run_longer_than_stripe_produces_multiple_runs_per_disk(self, layout):
+        runs = layout.map_run(0, 64)
+        disk0_runs = [r for r in runs if r.disk == 0]
+        assert len(disk0_runs) == 2
+        assert disk0_runs[1].start == 8
+
+    def test_bad_run_rejected(self, layout):
+        with pytest.raises(AddressError):
+            layout.map_run(0, 0)
+        with pytest.raises(AddressError):
+            layout.map_run(layout.total_blocks - 1, 2)
+
+    @given(
+        start=st.integers(min_value=0, max_value=4000),
+        n=st.integers(min_value=1, max_value=96),
+    )
+    def test_map_run_partitions_exactly(self, start, n):
+        """The runs partition the logical range block-for-block."""
+        layout = StripingLayout(4, 8, 1024)
+        if start + n > layout.total_blocks:
+            n = layout.total_blocks - start
+            if n == 0:
+                return
+        runs = layout.map_run(start, n)
+        mapped = []
+        for run in runs:
+            for i in range(run.n_blocks):
+                mapped.append(layout.logical_of(run.disk, run.start + i))
+        assert sorted(mapped) == list(range(start, start + n))
+
+    def test_iter_unit_fragments_no_merge(self):
+        solo = StripingLayout(1, 8, 1024)
+        frags = list(solo.iter_unit_fragments(4, 20))
+        assert [f.n_blocks for f in frags] == [4, 8, 8]

@@ -1,0 +1,84 @@
+"""Trace statistics and the Zipf fit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.stats import (
+    compute_trace_statistics,
+    fit_zipf_alpha,
+)
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta
+
+
+def make_trace(records):
+    return Trace(records, TraceMeta())
+
+
+class TestFitZipf:
+    def test_recovers_known_alpha(self):
+        alpha = 0.7
+        ranks = np.arange(1, 2000)
+        counts = list((1e6 * ranks ** (-alpha)).astype(int))
+        assert fit_zipf_alpha(counts) == pytest.approx(alpha, abs=0.05)
+
+    def test_uniform_fits_zero(self):
+        assert fit_zipf_alpha([10] * 500) == pytest.approx(0.0, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            fit_zipf_alpha([])
+
+    def test_degenerate_returns_zero(self):
+        assert fit_zipf_alpha([5]) == 0.0
+
+
+class TestComputeStatistics:
+    def test_basic_counters(self):
+        trace = make_trace(
+            [
+                DiskAccess([(0, 4)]),
+                DiskAccess([(4, 2)], is_write=True),
+                DiskAccess([(0, 4)]),
+            ]
+        )
+        stats = compute_trace_statistics(trace)
+        assert stats.n_records == 3
+        assert stats.n_writes == 1
+        assert stats.write_fraction == pytest.approx(1 / 3)
+        assert stats.total_blocks == 10
+        assert stats.distinct_blocks == 6
+        assert stats.hottest_block_count == 2
+        assert stats.max_record_blocks == 4
+        assert stats.size_histogram == {4: 2, 2: 1}
+
+    def test_sequentiality_detection(self):
+        trace = make_trace(
+            [DiskAccess([(0, 4)]), DiskAccess([(4, 4)]), DiskAccess([(100, 1)])]
+        )
+        stats = compute_trace_statistics(trace)
+        assert stats.inter_record_sequentiality == pytest.approx(0.5)
+
+    def test_footprint_span(self):
+        trace = make_trace([DiskAccess([(10, 2)]), DiskAccess([(100, 4)])])
+        stats = compute_trace_statistics(trace)
+        assert stats.footprint_span_blocks == 104 - 10
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            compute_trace_statistics(make_trace([]))
+
+    def test_describe_renders(self):
+        trace = make_trace([DiskAccess([(0, 1)])])
+        text = compute_trace_statistics(trace).describe()
+        assert "records" in text and "Zipf" in text
+
+    def test_synthetic_trace_alpha_near_spec(self):
+        """A whole-file-read trace inherits the file-level skew."""
+        spec = SyntheticSpec(
+            n_requests=4000, n_files=500, zipf_alpha=0.9, file_size_bytes=4096
+        )
+        _, trace = SyntheticWorkload(spec).build()
+        stats = compute_trace_statistics(trace)
+        assert stats.fitted_zipf_alpha == pytest.approx(0.9, abs=0.25)

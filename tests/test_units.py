@@ -1,0 +1,57 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_units_are_powers_of_1024():
+    assert units.KB == 1024
+    assert units.MB == 1024 ** 2
+    assert units.GB == 1024 ** 3
+
+
+def test_rate_conversion_round_trips():
+    rate = units.mb_per_s_to_bytes_per_ms(54.0)
+    assert rate == pytest.approx(54_000.0)
+    assert units.bytes_per_ms_to_mb_per_s(rate) == pytest.approx(54.0)
+
+
+def test_rpm_to_rotation_ms_matches_datasheet():
+    # 15000 rpm -> 4 ms per rotation (the 36Z15 figure).
+    assert units.rpm_to_rotation_ms(15000) == pytest.approx(4.0)
+
+
+def test_rpm_must_be_positive():
+    with pytest.raises(ValueError):
+        units.rpm_to_rotation_ms(0)
+
+
+def test_bytes_to_blocks_rounds_up():
+    assert units.bytes_to_blocks(1, 4096) == 1
+    assert units.bytes_to_blocks(4096, 4096) == 1
+    assert units.bytes_to_blocks(4097, 4096) == 2
+    assert units.bytes_to_blocks(0, 4096) == 0
+
+
+def test_bytes_to_blocks_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        units.bytes_to_blocks(-1, 4096)
+    with pytest.raises(ValueError):
+        units.bytes_to_blocks(10, 0)
+
+
+def test_blocks_to_bytes_is_inverse_for_multiples():
+    assert units.blocks_to_bytes(3, 4096) == 12288
+
+
+def test_fmt_bytes_picks_sensible_unit():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(4096) == "4.0 KB"
+    assert units.fmt_bytes(4 * units.MB) == "4.0 MB"
+
+
+def test_fmt_ms_switches_to_seconds():
+    assert "ms" in units.fmt_ms(3.4)
+    assert "s" in units.fmt_ms(12_000.0)
+    assert "ms" not in units.fmt_ms(12_000.0)

@@ -1,0 +1,60 @@
+"""The trace-generation CLI."""
+
+import pytest
+
+from repro.workloads.cli import build_parser, main, make_workload
+from repro.workloads.trace import Trace
+
+
+class TestParser:
+    def test_kind_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_unknown_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nvme"])
+        capsys.readouterr()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["web"])
+        assert args.scale == 0.01
+        assert args.seed == 1
+        assert not args.stats
+
+
+class TestMakeWorkload:
+    @pytest.mark.parametrize("kind", ["synthetic", "web", "proxy", "fileserver"])
+    def test_all_kinds_constructible(self, kind):
+        args = build_parser().parse_args([kind, "--scale", "0.002"])
+        assert make_workload(args) is not None
+
+    def test_synthetic_options_flow_through(self):
+        args = build_parser().parse_args(
+            ["synthetic", "--requests", "123", "--file-kb", "8",
+             "--alpha", "0.9", "--writes", "0.2", "--seed", "4"]
+        )
+        workload = make_workload(args)
+        assert workload.spec.n_requests == 123
+        assert workload.spec.file_size_bytes == 8192
+        assert workload.spec.zipf_alpha == 0.9
+        assert workload.spec.write_fraction == 0.2
+        assert workload.spec.seed == 4
+
+
+class TestMain:
+    def test_generates_and_prints(self, capsys):
+        assert main(["synthetic", "--requests", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "50 records" in out
+
+    def test_stats_flag(self, capsys):
+        main(["synthetic", "--requests", "50", "--stats"])
+        assert "Zipf" in capsys.readouterr().out
+
+    def test_save_and_reload(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(["synthetic", "--requests", "40", "--out", str(path)])
+        assert "saved" in capsys.readouterr().out
+        assert len(Trace.load(path)) == 40

@@ -1,0 +1,85 @@
+"""Zoned-bit-recording geometry."""
+
+import pytest
+
+from repro.config import DiskParams
+from repro.errors import AddressError, ConfigError
+from repro.geometry.zones import ZonedGeometry
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def zoned():
+    return ZonedGeometry(DiskParams(capacity_bytes=512 * MB), 4 * KB, n_zones=4)
+
+
+def test_zone_count_and_coverage(zoned):
+    assert len(zoned.zones) == 4
+    # zones tile the cylinder space exactly
+    assert sum(z.n_cylinders for z in zoned.zones) == zoned.n_cylinders
+    # block space is contiguous
+    for a, b in zip(zoned.zones, zoned.zones[1:]):
+        assert b.first_block == a.end_block
+    assert zoned.zones[-1].end_block == zoned.n_blocks
+
+
+def test_outer_zones_are_denser(zoned):
+    spts = [z.sectors_per_track for z in zoned.zones]
+    assert spts == sorted(spts, reverse=True)
+    assert zoned.outer_to_inner_ratio > 1.2
+
+
+def test_zone_of_boundaries(zoned):
+    assert zoned.zone_of(0) is zoned.zones[0]
+    last = zoned.zones[-1]
+    assert zoned.zone_of(last.first_block) is last
+    assert zoned.zone_of(zoned.n_blocks - 1) is last
+    with pytest.raises(AddressError):
+        zoned.zone_of(zoned.n_blocks)
+
+
+def test_cylinder_monotone_in_block(zoned):
+    cylinders = [zoned.cylinder_of(b) for b in range(0, zoned.n_blocks, 997)]
+    assert cylinders == sorted(cylinders)
+    assert cylinders[-1] < zoned.n_cylinders
+
+
+def test_outer_transfer_faster_than_inner(zoned):
+    outer = zoned.transfer_rate_bytes_ms(0)
+    inner = zoned.transfer_rate_bytes_ms(zoned.n_blocks - 1)
+    assert outer > inner
+
+
+def test_average_rate_preserved(zoned):
+    """Cylinder-weighted mean zone rate equals the datasheet rate."""
+    disk = DiskParams(capacity_bytes=512 * MB)
+    weighted = sum(
+        zoned.transfer_rate_bytes_ms(z.first_block) * z.n_cylinders
+        for z in zoned.zones
+    ) / zoned.n_cylinders
+    assert weighted == pytest.approx(disk.transfer_rate_bytes_ms, rel=0.02)
+
+
+def test_transfer_time_splits_across_zones(zoned):
+    edge = zoned.zones[0].end_block
+    straddling = zoned.transfer_time(edge - 4, 8)
+    outer_only = zoned.transfer_time(edge - 8, 8)
+    inner_only = zoned.transfer_time(edge, 8)
+    assert outer_only < straddling < inner_only
+
+
+def test_single_zone_uses_average(zoned):
+    solo = ZonedGeometry(DiskParams(capacity_bytes=512 * MB), 4 * KB, n_zones=1)
+    assert solo.zones[0].sectors_per_track == (504 + 376) // 2
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ZonedGeometry(DiskParams(), 4 * KB, n_zones=0)
+    with pytest.raises(ConfigError):
+        ZonedGeometry(DiskParams(), 4 * KB, outer_sectors=100, inner_sectors=200)
+    with pytest.raises(AddressError):
+        ZonedGeometry(DiskParams(), 1000)
+    with pytest.raises(ConfigError):
+        zoned = ZonedGeometry(DiskParams(capacity_bytes=512 * MB), 4 * KB)
+        zoned.transfer_time(0, -1)
