@@ -388,6 +388,9 @@ class DiskController:
         self._kick()
 
     def _cancel_wait(self) -> None:
+        # _end_anticipation clears _wait_event before doing anything
+        # else, but Simulator.cancel also tolerates fired handles, so a
+        # stale reference here cannot corrupt the event queue's count.
         if self._wait_event is not None:
             self.sim.cancel(self._wait_event)
             self._wait_event = None

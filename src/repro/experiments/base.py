@@ -35,22 +35,34 @@ class SeriesResult:
         """A named series' values (raises ``KeyError`` if absent)."""
         return self.series[name]
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe except for exotic x values)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": self.x_values,
+            "series": self.series,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SeriesResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=list(data["x_values"]),
+            series={k: list(v) for k, v in data["series"].items()},
+            notes=list(data.get("notes", [])),
+        )
+
     def to_json(self) -> str:
         """Serialise the series (and notes) as a JSON document."""
         import json
 
-        return json.dumps(
-            {
-                "exp_id": self.exp_id,
-                "title": self.title,
-                "x_label": self.x_label,
-                "x_values": self.x_values,
-                "series": self.series,
-                "notes": self.notes,
-            },
-            indent=2,
-            default=str,
-        )
+        return json.dumps(self.to_dict(), indent=2, default=str)
 
     def save_json(self, path) -> None:
         """Write :meth:`to_json` to ``path``."""
@@ -64,15 +76,7 @@ class SeriesResult:
         import json
         from pathlib import Path
 
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
-        return cls(
-            exp_id=data["exp_id"],
-            title=data["title"],
-            x_label=data["x_label"],
-            x_values=data["x_values"],
-            series=data["series"],
-            notes=data.get("notes", []),
-        )
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
     def to_text(self) -> str:
         """Paper-style table: one row per x value, one column per series."""
@@ -88,6 +92,32 @@ class SeriesResult:
         for note in self.notes:
             out.append(f"note: {note}")
         return "\n".join(out)
+
+
+def merge_series_results(parts: Sequence[SeriesResult]) -> SeriesResult:
+    """Concatenate per-cell :class:`SeriesResult` slices, in order.
+
+    Each part must be the same experiment restricted to a slice of the
+    x axis (what :class:`repro.experiments.parallel.ParallelSweep`
+    produces). x values and per-series values are concatenated in the
+    given order; notes are deduplicated preserving first occurrence, so
+    a note an experiment emits once per run (and therefore once per
+    cell) appears exactly once — byte-identical to the serial path.
+    """
+    if not parts:
+        raise ValueError("merge_series_results() needs at least one part")
+    first = parts[0]
+    merged = SeriesResult(
+        exp_id=first.exp_id, title=first.title, x_label=first.x_label
+    )
+    for part in parts:
+        merged.x_values.extend(part.x_values)
+        for name, values in part.series.items():
+            merged.series.setdefault(name, []).extend(values)
+        for note in part.notes:
+            if note not in merged.notes:
+                merged.notes.append(note)
+    return merged
 
 
 def scaled_count(base: int, scale: float, minimum: int = 1) -> int:

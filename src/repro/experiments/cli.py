@@ -1,17 +1,27 @@
-"""Command-line entry point: ``repro-exp <experiment> [--scale X] [--chart]``.
+"""Command-line entry point: ``repro-exp <experiment> [options]``.
 
 Also reachable as ``python -m repro <experiment>``. With ``all``, every
 experiment runs in sequence (slow at full scale; pass ``--scale``).
 ``--chart`` appends an ASCII rendering of the series, so curve shapes
 can be eyeballed without a plotting stack.
+
+Parallel sweeps: ``--jobs N`` fans the experiment's independent cells
+over N worker processes and ``--cache-dir``/``--no-cache`` control the
+content-addressed result cache (default ``.repro_cache``; cells whose
+inputs and code are unchanged are served from disk). The merged output
+is byte-identical to the serial run; per-cell wall times and cache
+hit/miss counters go to stderr.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENTS, RUNNERS
+
+#: Default on-disk location of the result cache for parallel runs.
+DEFAULT_CACHE_DIR = ".repro_cache"
 
 
 def usage() -> str:
@@ -19,29 +29,98 @@ def usage() -> str:
     names = " ".join(sorted(EXPERIMENTS))
     return (
         "usage: repro-exp <experiment> [--scale X] [--chart]\n"
+        "                 [--jobs N] [--cache-dir DIR] [--no-cache]\n"
         f"experiments: {names} all\n"
-        "example: repro-exp fig03 --scale 0.2 --chart"
+        "example: repro-exp fig03 --scale 0.2 --chart\n"
+        "example: repro-exp fig07 --jobs 4          # parallel + cached\n"
+        "example: repro-exp fig07 --jobs 4 --no-cache"
     )
 
 
-def _run_with_chart(name: str, rest: Sequence[str]) -> None:
+def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
+    """Extract the sweep options from a raw argv tail."""
+    args = list(rest)
+    opts: Dict[str, object] = {
+        "scale": None,
+        "jobs": None,
+        "cache_dir": None,
+        "no_cache": False,
+        "chart": "--chart" in args,
+    }
+
+    def value_of(flag: str) -> Optional[str]:
+        if flag in args:
+            idx = args.index(flag)
+            if idx + 1 < len(args):
+                return args[idx + 1]
+        return None
+
+    scale = value_of("--scale")
+    if scale is not None:
+        opts["scale"] = float(scale)
+    jobs = value_of("--jobs")
+    if jobs is not None:
+        opts["jobs"] = int(jobs)
+    opts["cache_dir"] = value_of("--cache-dir")
+    opts["no_cache"] = "--no-cache" in args
+    return opts
+
+
+def _wants_parallel(opts: Dict[str, object]) -> bool:
+    return (
+        opts["jobs"] is not None
+        or opts["cache_dir"] is not None
+        or opts["no_cache"]
+    )
+
+
+def _print_chart(result) -> None:
     from repro.errors import ReproError
     from repro.metrics.ascii_chart import render_series_result
 
-    runner = RUNNERS[name]
-    kwargs = {}
-    args = list(rest)
-    if "--scale" in args:
-        idx = args.index("--scale")
-        if idx + 1 < len(args):
-            kwargs["scale"] = float(args[idx + 1])
-    result = runner(**kwargs)
-    print(result.to_text())
     try:
         print()
         print(render_series_result(result))
     except ReproError as exc:
         print(f"(no chart: {exc})")
+
+
+def _run_parallel(name: str, opts: Dict[str, object]) -> None:
+    """Run one experiment through the parallel sweep runner."""
+    from repro.experiments.parallel import sweep_experiment
+
+    cache_dir = None
+    if not opts["no_cache"]:
+        cache_dir = opts["cache_dir"] or DEFAULT_CACHE_DIR
+    result, metrics = sweep_experiment(
+        name,
+        scale=opts["scale"],
+        jobs=opts["jobs"] or 1,
+        cache_dir=cache_dir,
+    )
+    print(result.to_text())
+    if opts["chart"]:
+        _print_chart(result)
+    print(metrics.to_text(), file=sys.stderr)
+
+
+def _run_with_chart(name: str, opts: Dict[str, object]) -> None:
+    runner = RUNNERS[name]
+    kwargs = {}
+    if opts["scale"] is not None:
+        kwargs["scale"] = opts["scale"]
+    result = runner(**kwargs)
+    print(result.to_text())
+    _print_chart(result)
+
+
+def _dispatch(name: str, rest: Sequence[str], opts: Dict[str, object]) -> None:
+    if _wants_parallel(opts):
+        _run_parallel(name, opts)
+    elif opts["chart"]:
+        _run_with_chart(name, opts)
+    else:
+        EXPERIMENTS[name](list(rest))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -52,18 +131,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     name = args[0]
     rest = args[1:]
+    opts = _parse_options(rest)
+    if opts["jobs"] is not None and opts["jobs"] < 1:
+        print(f"--jobs must be >= 1, got {opts['jobs']}", file=sys.stderr)
+        return 2
     if name == "all":
         for exp_name in sorted(EXPERIMENTS):
-            EXPERIMENTS[exp_name](rest)
+            _dispatch(exp_name, rest, opts)
             print()
         return 0
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}\n{usage()}", file=sys.stderr)
         return 2
-    if "--chart" in rest:
-        _run_with_chart(name, rest)
-        return 0
-    EXPERIMENTS[name](rest)
+    _dispatch(name, rest, opts)
     return 0
 
 

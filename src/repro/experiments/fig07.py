@@ -32,6 +32,7 @@ def run(
         seed=seed,
         verbose=verbose,
         hdc_pin_fraction=scale,
+        workload_key=("web", scale, seed),
     )
 
 

@@ -33,6 +33,7 @@ def run(
         seed=seed,
         verbose=verbose,
         hdc_pin_fraction=scale,
+        workload_key=("file", scale, seed),
     )
 
 

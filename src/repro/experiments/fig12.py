@@ -35,6 +35,7 @@ def run(
         seed=seed,
         verbose=verbose,
         hdc_pin_fraction=scale,
+        workload_key=("file", scale, seed),
     )
 
 

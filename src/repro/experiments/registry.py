@@ -1,9 +1,20 @@
-"""Name → experiment-driver registry for the CLI."""
+"""Name → experiment-driver registry for the CLI.
+
+Besides the ``main()``/``run()`` tables, this module declares how each
+experiment *splits* for the parallel sweep runner: a
+:class:`SweepSpec` names the ``run()`` keyword that carries the
+figure's x axis (every driver accepts a restricted axis and returns a
+:class:`~repro.experiments.base.SeriesResult` covering just that
+slice), so :mod:`repro.experiments.parallel` can expand a registry
+entry into independent single-x cells and merge them back in order.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.experiments import servers
 from repro.experiments import (
     ext_frag,
     fig01,
@@ -61,4 +72,40 @@ RUNNERS: Dict[str, Callable] = {
     "table2": table2.run,
     "validation": validation.run,
     "ext_frag": ext_frag.run,
+}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """How one experiment expands into parallelisable cells.
+
+    ``axis`` is the ``run()`` keyword holding the x-axis sequence;
+    ``values`` its default sweep points. ``axis=None`` means the
+    experiment is indivisible and runs as a single cell (its internal
+    structure is not a per-x loop, or splitting would rebuild shared
+    state per cell for no gain).
+    """
+
+    axis: Optional[str]
+    values: Tuple[object, ...] = ()
+
+
+#: Cell-expansion declarations for the parallel sweep runner.
+SWEEPS: Dict[str, SweepSpec] = {
+    "fig01": SweepSpec("frag_points", tuple(fig01.FRAG_POINTS)),
+    "fig02": SweepSpec(None),  # three workloads feed one shared Zipf reference
+    "fig03": SweepSpec("file_sizes_kb", tuple(fig03.FILE_SIZES_KB)),
+    "fig04": SweepSpec("stream_counts", tuple(fig04.STREAM_COUNTS)),
+    "fig05": SweepSpec("alphas", tuple(fig05.ALPHAS)),
+    "fig06": SweepSpec("write_fractions", tuple(fig06.WRITE_FRACTIONS)),
+    "fig07": SweepSpec("units_kb", tuple(servers.STRIPING_UNITS_KB)),
+    "fig08": SweepSpec("hdc_sizes_kb", tuple(servers.HDC_SIZES_KB)),
+    "fig09": SweepSpec("units_kb", tuple(servers.STRIPING_UNITS_KB)),
+    "fig10": SweepSpec("hdc_sizes_kb", tuple(servers.HDC_SIZES_KB)),
+    "fig11": SweepSpec("units_kb", tuple(servers.STRIPING_UNITS_KB)),
+    "fig12": SweepSpec("hdc_sizes_kb", tuple(servers.HDC_SIZES_KB)),
+    "table1": SweepSpec(None),
+    "table2": SweepSpec("servers", tuple(table2.SERVERS)),
+    "validation": SweepSpec(None),
+    "ext_frag": SweepSpec("frag_points", tuple(ext_frag.FRAG_POINTS)),
 }

@@ -20,7 +20,7 @@ EXPERIMENTS.md records the details.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.config import ArrayParams, ultrastar_36z15_config
 from repro.experiments.base import SeriesResult, log
@@ -37,6 +37,51 @@ STRIPE_TECHNIQUES = (SEGM, SEGM_HDC, FOR, FOR_HDC)
 
 #: Returns (layout, measured trace).
 WorkloadBuilder = Callable[[], Tuple[FileSystemLayout, Trace]]
+
+#: Per-process memo of built workloads: key -> ready TechniqueRunner.
+#: ``None`` means memoisation is off (the serial default, which keeps
+#: long test sessions from pinning every generated trace in memory).
+_WORKLOAD_CACHE: Optional[Dict[tuple, TechniqueRunner]] = None
+
+
+def enable_workload_cache() -> None:
+    """Turn on per-process workload memoisation.
+
+    The parallel sweep's pool initializer calls this in every worker,
+    so the cells of one figure that land on the same worker share a
+    single built workload — and with it the :class:`TechniqueRunner`'s
+    memoised block-access profile, FOR bitmaps and HDC pin plans —
+    instead of regenerating them per cell.
+    """
+    global _WORKLOAD_CACHE
+    if _WORKLOAD_CACHE is None:
+        _WORKLOAD_CACHE = {}
+
+
+def clear_workload_cache() -> None:
+    """Drop the memo and disable memoisation again."""
+    global _WORKLOAD_CACHE
+    _WORKLOAD_CACHE = None
+
+
+def workload_cache_enabled() -> bool:
+    """Whether per-process workload memoisation is currently on."""
+    return _WORKLOAD_CACHE is not None
+
+
+def _runner_for(
+    workload_key: Optional[tuple], build_workload: WorkloadBuilder
+) -> TechniqueRunner:
+    """A TechniqueRunner for the workload, memoised when enabled."""
+    if _WORKLOAD_CACHE is None or workload_key is None:
+        layout, trace = build_workload()
+        return TechniqueRunner(layout, trace)
+    runner = _WORKLOAD_CACHE.get(workload_key)
+    if runner is None:
+        layout, trace = build_workload()
+        runner = TechniqueRunner(layout, trace)
+        _WORKLOAD_CACHE[workload_key] = runner
+    return runner
 
 
 def build_two_periods(make_workload: Callable[[int], object]):
@@ -60,10 +105,11 @@ def striping_sweep(
     seed: int = 1,
     verbose: bool = False,
     hdc_pin_fraction: float = 1.0,
+    workload_key: Optional[tuple] = None,
 ) -> SeriesResult:
     """I/O time (seconds) vs striping unit for the four systems."""
-    layout, trace = build_workload()
-    runner = TechniqueRunner(layout, trace)
+    runner = _runner_for(workload_key, build_workload)
+    trace = runner.trace
     result = SeriesResult(
         exp_id=exp_id,
         title=title,
@@ -101,6 +147,7 @@ def hdc_sweep(
     seed: int = 1,
     verbose: bool = False,
     hdc_pin_fraction: float = 1.0,
+    workload_key: Optional[tuple] = None,
 ) -> SeriesResult:
     """I/O time + HDC hit rate vs HDC size at a fixed striping unit.
 
@@ -109,8 +156,7 @@ def hdc_sweep(
     this is why the paper's FOR+HDC curve "does not touch the right
     side of the graph".
     """
-    layout, trace = build_workload()
-    runner = TechniqueRunner(layout, trace)
+    runner = _runner_for(workload_key, build_workload)
     result = SeriesResult(
         exp_id=exp_id,
         title=title,

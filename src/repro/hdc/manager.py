@@ -65,6 +65,9 @@ class HdcManager:
         """
         self._stopped = True
         if self._timer is not None:
+            # The handle may reference a tick that already fired (e.g.
+            # finish() from a callback scheduled at the same instant);
+            # Simulator.cancel is a no-op for fired events.
             self.sim.cancel(self._timer)
             self._timer = None
         return self.array.flush_all_hdc(on_complete)

@@ -4,6 +4,7 @@ from repro.metrics.collector import RunResult, collect_run_result
 from repro.metrics.sampling import LoadSample, QueueDepthSampler
 from repro.metrics.ascii_chart import render_chart, render_series_result
 from repro.metrics.report import format_table
+from repro.metrics.sweepstats import CellTiming, SweepMetrics
 
 __all__ = [
     "RunResult",
@@ -13,4 +14,6 @@ __all__ = [
     "QueueDepthSampler",
     "render_chart",
     "render_series_result",
+    "CellTiming",
+    "SweepMetrics",
 ]

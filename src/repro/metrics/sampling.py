@@ -63,7 +63,13 @@ class QueueDepthSampler:
         self._timer = self.system.sim.schedule(self.interval_ms, self._tick)
 
     def stop(self) -> None:
-        """Stop sampling and cancel the pending wake-up."""
+        """Stop sampling and cancel the pending wake-up.
+
+        Idempotent, and safe to call after the run drained: the held
+        handle may reference a tick that already fired (a drained
+        ``run(until=...)`` can leave ``_timer`` pointing at the last
+        tick), and ``Simulator.cancel`` treats fired handles as no-ops.
+        """
         self._stopped = True
         if self._timer is not None:
             self.system.sim.cancel(self._timer)

@@ -1,0 +1,67 @@
+"""Wall-clock and cache accounting for parallel experiment sweeps.
+
+The simulator's own metrics (:mod:`repro.metrics.collector`) describe
+*simulated* time; this module describes the *host-side* cost of
+reproducing a figure: how long each cell took on the wall, how many
+cells came from the result cache, and the aggregate speed-up knobs a
+``--jobs``/``--cache-dir`` user cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.metrics.report import format_table
+
+
+@dataclass
+class CellTiming:
+    """One sweep cell's outcome: label, wall seconds, cache state."""
+
+    label: str
+    wall_s: float
+    cached: bool
+
+
+@dataclass
+class SweepMetrics:
+    """Per-cell wall times plus cache hit/miss counters for one sweep."""
+
+    exp_id: str
+    jobs: int = 1
+    cells: List[CellTiming] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def record(self, label: str, wall_s: float, cached: bool) -> None:
+        """Account one finished cell."""
+        self.cells.append(CellTiming(label, wall_s, cached))
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the result cache."""
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells that had to be computed."""
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def computed_wall_s(self) -> float:
+        """Summed per-cell compute time (CPU-side, across workers)."""
+        return sum(c.wall_s for c in self.cells if not c.cached)
+
+    def to_text(self) -> str:
+        """Human-readable per-cell table plus summary line."""
+        rows = [
+            [c.label, f"{c.wall_s:.2f}", "hit" if c.cached else "miss"]
+            for c in self.cells
+        ]
+        table = format_table(["cell", "wall_s", "cache"], rows)
+        summary = (
+            f"{self.exp_id}: {len(self.cells)} cells, jobs={self.jobs}, "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss, "
+            f"wall {self.wall_s:.2f}s (cells sum {self.computed_wall_s:.2f}s)"
+        )
+        return f"{table}\n{summary}"

@@ -43,10 +43,13 @@ class Simulator:
         return self._queue.push(time, fn, args)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event returned by :meth:`schedule`."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a pending event returned by :meth:`schedule`.
+
+        No-op for handles that already fired or were already cancelled,
+        so components may keep timer handles past their firing time and
+        cancel unconditionally on shutdown.
+        """
+        self._queue.cancel(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Fire events in time order.

@@ -22,7 +22,7 @@ class Event:
     operation is :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -30,10 +30,12 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if already fired)."""
-        self.cancelled = True
+        if not self.fired:
+            self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,24 +61,57 @@ class EventQueue:
         self._live += 1
         return event
 
+    def _drop_cancelled_head(self) -> None:
+        """Discard cancelled events from the heap head (lazy deletion).
+
+        The only place cancelled entries leave the heap; their ``_live``
+        decrement already happened at cancellation time, so no
+        bookkeeping occurs here. Both :meth:`pop` and :meth:`peek_time`
+        go through this helper, keeping ``_live`` consistent with the
+        heap no matter which is called first.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        return None
+        """Remove and return the earliest non-cancelled event, or ``None``.
+
+        The returned event is marked ``fired``, which makes any later
+        :meth:`cancel` on its handle a no-op instead of corrupting the
+        live count.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        event.fired = True
+        self._live -= 1
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._drop_cancelled_head()
         return self._heap[0].time if self._heap else None
 
+    def cancel(self, event: Event) -> bool:
+        """Cancel ``event`` if it is still pending; returns ``True`` if so.
+
+        Safe to call with handles that already fired or were already
+        cancelled — both are no-ops, so ``_live`` never goes negative.
+        """
+        if event.fired or event.cancelled:
+            return False
+        event.cancelled = True
+        self._live -= 1
+        return True
+
     def note_cancelled(self) -> None:
-        """Bookkeeping hook: a live event was cancelled externally."""
+        """Bookkeeping hook: a live event was cancelled externally.
+
+        Deprecated in favour of :meth:`cancel`, which refuses fired
+        handles; kept for callers that flag events directly.
+        """
         self._live -= 1
 
     def __len__(self) -> int:

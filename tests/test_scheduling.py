@@ -112,6 +112,37 @@ class TestCScan:
         # head at 60: serve 90, wrap to 10, then 50
         assert drain(sched, head=60) == [90, 10, 50]
 
+    def test_head_above_highest_wraps_immediately(self):
+        sched = CScanScheduler()
+        for cyl in (10, 30, 50):
+            sched.push(cyl, None, 0.0)
+        # nothing at or above the head: the very first pop must jump
+        # to the lowest pending cylinder, then sweep upward
+        assert sched.peek(60).cylinder == 10
+        assert drain(sched, head=60) == [10, 30, 50]
+
+    def test_head_exactly_at_highest_serves_it_first(self):
+        sched = CScanScheduler()
+        for cyl in (10, 50):
+            sched.push(cyl, None, 0.0)
+        assert drain(sched, head=50) == [50, 10]
+
+    def test_pop_empties_bucket_then_removes_cylinder(self):
+        sched = CScanScheduler()
+        first = sched.push(20, "a", 0.0)
+        second = sched.push(20, "b", 0.0)
+        sched.push(40, "c", 0.0)
+        # same-cylinder requests drain FIFO before the cylinder goes
+        assert sched.pop(0) is first
+        assert 20 in sched._buckets
+        assert sched.pop(0) is second
+        # bucket emptied: cylinder fully retired from the sweep order
+        assert 20 not in sched._buckets
+        assert sched._cylinders == [40]
+        assert sched.pop(0).cylinder == 40
+        assert len(sched) == 0
+        assert sched.peek(0) is None
+
 
 @pytest.mark.parametrize("cls", ALL)
 def test_empty_pop_returns_none(cls):
