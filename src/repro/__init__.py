@@ -70,6 +70,21 @@ from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
 from repro.metrics.collector import RunResult
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    active_tracer,
+    chrome_trace_dict,
+    drive_time_in_state,
+    install_tracer,
+    spans_time_in_state,
+    tracing,
+    uninstall_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.sim.engine import Simulator
 from repro.workloads.fileserver import FileServerSpec, FileServerWorkload
 from repro.workloads.proxy import ProxyServerSpec, ProxyServerWorkload
@@ -130,6 +145,20 @@ __all__ = [
     "MirroredArray",
     "CooperativeHdc",
     "plan_cooperative_pins",
+    # observability
+    "Tracer",
+    "NULL_TRACER",
+    "tracing",
+    "install_tracer",
+    "uninstall_tracer",
+    "active_tracer",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "write_jsonl",
+    "drive_time_in_state",
+    "spans_time_in_state",
     # workloads
     "DiskAccess",
     "Trace",

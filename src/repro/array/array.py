@@ -126,6 +126,7 @@ class DiskArray:
         """Array-wide sum of controller counters."""
         total = ControllerStats()
         for ctrl in self.controllers:
+            ctrl.sync_drive_times()
             total = total.merge(ctrl.stats)
         return total
 

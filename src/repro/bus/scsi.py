@@ -15,16 +15,21 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.config import BusParams
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
+
+#: The bus's trace track (a single shared channel — one timeline).
+BUS_TRACK = "bus"
 
 
 class ScsiBus:
     """FIFO-contended shared bus."""
 
-    def __init__(self, sim: Simulator, params: BusParams):
+    def __init__(self, sim: Simulator, params: BusParams, tracer=NULL_TRACER):
         self.sim = sim
         self.params = params
+        self.tracer = tracer
         self._resource = Resource(sim, capacity=1, name="scsi-bus")
         self.bytes_transferred: int = 0
         self.transfers: int = 0
@@ -37,6 +42,27 @@ class ScsiBus:
         )
         self.bytes_transferred += n_bytes
         self.transfers += 1
+        if self.tracer.enabled:
+            # The occupancy span [completion - duration, completion) is
+            # only known once the transfer finishes (it may first wait
+            # in the FIFO), so record it from a wrapping continuation.
+            tracer = self.tracer
+            requested_at = self.sim.now
+
+            def _traced(*inner: Any) -> None:
+                end = self.sim.now
+                tracer.complete(
+                    BUS_TRACK,
+                    "xfer",
+                    end - duration,
+                    duration,
+                    bytes=n_bytes,
+                    wait_ms=max(0.0, end - duration - requested_at),
+                )
+                fn(*inner)
+
+            self._resource.hold(duration, _traced, *args)
+            return
         self._resource.hold(duration, fn, *args)
 
     def utilization(self, elapsed: float) -> float:

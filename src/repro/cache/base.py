@@ -20,6 +20,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence
 
+from repro.obs.tracer import NULL_TRACER
+
 
 @dataclass
 class CacheStats:
@@ -65,6 +67,13 @@ class ControllerCache(ABC):
     def __init__(self, capacity_blocks: int):
         self.capacity_blocks = capacity_blocks
         self.stats = CacheStats()
+        self._tracer = NULL_TRACER
+        self._track = ""
+
+    def attach_tracer(self, tracer, track: str) -> None:
+        """Emit cache events on ``track`` (the owning controller's)."""
+        self._tracer = tracer
+        self._track = track
 
     @abstractmethod
     def contains(self, block: int) -> bool:

@@ -51,6 +51,13 @@ class BlockCache(ControllerCache):
             else:
                 self.stats.block_misses += 1
                 absent.append(b)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self._track,
+                "cache.lookup",
+                hits=len(blocks) - len(absent),
+                misses=len(absent),
+            )
         return absent
 
     def access(self, blocks: Iterable[int]) -> None:
@@ -77,14 +84,19 @@ class BlockCache(ControllerCache):
 
     def _evict_one(self) -> None:
         self.stats.evictions += 1
+        tracer = self._tracer
         if self.policy is BlockPolicy.MRU:
             if self._accessed:
                 self._accessed.popitem(last=True)
+                if tracer.enabled:
+                    tracer.instant(self._track, "cache.evict", blocks=1, unused=0)
                 return
             # No consumed block to drop: fall back to the oldest
             # read-ahead block (it has waited longest unconsumed).
             self._unaccessed.popitem(last=False)
             self.stats.useless_evictions += 1
+            if tracer.enabled:
+                tracer.instant(self._track, "cache.evict", blocks=1, unused=1)
             return
         # LRU: globally least recent — unaccessed blocks are older than
         # any accessed block touched after their fill; approximate the
@@ -92,8 +104,12 @@ class BlockCache(ControllerCache):
         if self._unaccessed:
             self._unaccessed.popitem(last=False)
             self.stats.useless_evictions += 1
+            if tracer.enabled:
+                tracer.instant(self._track, "cache.evict", blocks=1, unused=1)
         else:
             self._accessed.popitem(last=False)
+            if tracer.enabled:
+                tracer.instant(self._track, "cache.evict", blocks=1, unused=0)
 
     def invalidate(self, block: int) -> None:
         self._accessed.pop(block, None)

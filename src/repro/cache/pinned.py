@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.errors import CacheError
+from repro.obs.tracer import NULL_TRACER
 
 
 class PinnedRegion:
@@ -31,6 +32,13 @@ class PinnedRegion:
         self._dirty: Dict[int, bool] = {}
         self.hits = 0
         self.write_hits = 0
+        self._tracer = NULL_TRACER
+        self._track = ""
+
+    def attach_tracer(self, tracer, track: str) -> None:
+        """Emit HDC events on ``track`` (the owning controller's)."""
+        self._tracer = tracer
+        self._track = track
 
     # -- host commands ---------------------------------------------------
 
@@ -57,6 +65,8 @@ class PinnedRegion:
         if dirty:
             raise CacheError(f"cannot unpin dirty block {block}; flush_hdc first")
         del self._dirty[block]
+        if self._tracer.enabled:
+            self._tracer.instant(self._track, "hdc.unpin", block=block)
 
     def flush(self) -> List[int]:
         """Return and clear the dirty set (``flush_hdc``).
@@ -67,6 +77,10 @@ class PinnedRegion:
         dirty = [b for b, d in self._dirty.items() if d]
         for b in dirty:
             self._dirty[b] = False
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self._track, "hdc.flush", dirty=len(dirty), pinned=len(self._dirty)
+            )
         return dirty
 
     # -- controller-side operations ---------------------------------------
@@ -103,5 +117,11 @@ class PinnedRegion:
 
     def pin_many(self, blocks: Iterable[int]) -> None:
         """Pin a batch of blocks (capacity-checked per block)."""
+        count = 0
         for b in blocks:
             self.pin(b)
+            count += 1
+        if self._tracer.enabled and count:
+            self._tracer.instant(
+                self._track, "hdc.pin", blocks=count, pinned=len(self._dirty)
+            )

@@ -75,6 +75,13 @@ class SegmentCache(ControllerCache):
             else:
                 self.stats.block_misses += 1
                 absent.append(b)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self._track,
+                "cache.lookup",
+                hits=len(blocks) - len(absent),
+                misses=len(absent),
+            )
         return absent
 
     def access(self, blocks: Iterable[int]) -> None:
@@ -148,6 +155,14 @@ class SegmentCache(ControllerCache):
                 del self._by_block[b]
         self.stats.evictions += 1
         self.stats.useless_evictions += len(seg.blocks) - len(seg.accessed)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self._track,
+                "cache.evict",
+                blocks=len(seg.blocks),
+                unused=len(seg.blocks) - len(seg.accessed),
+                stream=seg.stream,
+            )
 
     def invalidate(self, block: int) -> None:
         seg = self._by_block.pop(block, None)

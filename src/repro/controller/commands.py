@@ -27,6 +27,7 @@ class DiskCommand:
         "issued_at",
         "completed_at",
         "served_from_cache",
+        "trace_span",
         "_done",
     )
 
@@ -53,6 +54,8 @@ class DiskCommand:
         self.completed_at: float = -1.0
         #: True if the read was fully served from controller cache/HDC.
         self.served_from_cache = False
+        #: Tracer span id of the command's lifecycle (0 = untraced).
+        self.trace_span = 0
         self._done = False
 
     @property

@@ -30,6 +30,7 @@ from repro.controller.commands import DiskCommand
 from repro.controller.stats import ControllerStats
 from repro.disk.drive import DiskDrive
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER
 from repro.readahead.base import ReadAheadPolicy
 from repro.scheduling.base import IOScheduler
 from repro.sim.engine import Simulator
@@ -93,6 +94,7 @@ class DiskController:
         pinned: Optional[PinnedRegion] = None,
         dispatch_recheck: bool = False,
         anticipatory_wait_ms: float = 0.0,
+        tracer=NULL_TRACER,
     ):
         self.disk_id = disk_id
         self.sim = sim
@@ -104,6 +106,13 @@ class DiskController:
         self.block_size = block_size
         self.pinned = pinned if pinned is not None else PinnedRegion(0)
         self.dispatch_recheck = dispatch_recheck
+        self.tracer = tracer
+        #: Trace track carrying this controller's request lifecycles,
+        #: queue activity and cache/HDC events.
+        self.trace_track = f"ctrl{disk_id}"
+        scheduler.attach_tracer(tracer, self.trace_track)
+        cache.attach_tracer(tracer, self.trace_track)
+        self.pinned.attach_tracer(tracer, self.trace_track)
         #: Anticipatory scheduling (Iyer & Druschel, the paper's ref.
         #: [15]): after completing a read for stream ``s``, keep the
         #: media idle up to this long when the best queued candidate
@@ -134,6 +143,14 @@ class DiskController:
         cmd.issued_at = self.sim.now
         self.stats.commands += 1
         self.stats.blocks_requested += cmd.n_blocks
+        if self.tracer.enabled:
+            cmd.trace_span = self.tracer.begin(
+                self.trace_track,
+                "write" if cmd.is_write else "read",
+                start=cmd.start_block,
+                blocks=cmd.n_blocks,
+                stream=cmd.stream_id,
+            )
         if cmd.is_write:
             self.stats.write_commands += 1
             self._handle_write(cmd)
@@ -170,6 +187,10 @@ class DiskController:
         if not misses:
             self.stats.full_cache_hits += 1
             cmd.served_from_cache = True
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.trace_track, "cache.full-hit", blocks=cmd.n_blocks
+                )
             self._deliver_read(cmd)
             return
         cylinder = self._geometry.cylinder_of(misses[0])
@@ -200,6 +221,18 @@ class DiskController:
 
     def _finish_after_bus(self, cmd: DiskCommand) -> None:
         """Completion continuation: stamps the time at bus-transfer end."""
+        self._finish_cmd(cmd)
+
+    def _finish_cmd(self, cmd: DiskCommand) -> None:
+        """Close the command's lifecycle span and fire its continuation."""
+        if cmd.trace_span:
+            self.tracer.end(
+                self.trace_track,
+                "write" if cmd.is_write else "read",
+                cmd.trace_span,
+                cached=cmd.served_from_cache,
+            )
+            cmd.trace_span = 0
         cmd.finish(self.sim.now)
 
     # ------------------------------------------------------------------
@@ -226,7 +259,7 @@ class DiskController:
 
         def _after_bus() -> None:
             if not runs:
-                cmd.finish(self.sim.now)
+                self._finish_cmd(cmd)
                 return
             remaining = len(runs)
 
@@ -234,7 +267,7 @@ class DiskController:
                 nonlocal remaining
                 remaining -= 1
                 if remaining == 0:
-                    cmd.finish(self.sim.now)
+                    self._finish_cmd(cmd)
 
             for start, length in runs:
                 job = _MediaJob(
@@ -341,6 +374,13 @@ class DiskController:
             req = self.scheduler.pop(self.drive.head_cylinder)
             if req is None:  # pragma: no cover - defensive
                 break
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.trace_track,
+                    "queue.dispatch",
+                    wait_ms=self.sim.now - req.enqueued_at,
+                    depth=len(self.scheduler),
+                )
             job: _MediaJob = req.payload
             if job.kind == _MediaJob.READ:
                 if self._dispatch_read(job):
@@ -377,6 +417,13 @@ class DiskController:
             return False  # the awaited request arrived: dispatch it
         if self._wait_event is None:
             self.stats.anticipation_waits += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.trace_track,
+                    "anticipate.wait",
+                    stream=self._last_read_stream,
+                    window_ms=self._anticipate_deadline - now,
+                )
             self._wait_event = self.sim.schedule(
                 self._anticipate_deadline - now, self._end_anticipation
             )
@@ -409,6 +456,12 @@ class DiskController:
             if not misses:
                 self.stats.dispatch_cache_hits += 1
                 cmd.served_from_cache = True
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        self.trace_track,
+                        "dispatch.cache-hit",
+                        blocks=cmd.n_blocks,
+                    )
                 self._deliver_read(cmd)
                 return False
             span_start = misses[0]
@@ -424,6 +477,13 @@ class DiskController:
         self.stats.media_reads += 1
         self.stats.media_blocks_read += read_size
         self.stats.readahead_blocks += read_size - span_len
+        if self.tracer.enabled and read_size > span_len:
+            self.tracer.instant(
+                self.trace_track,
+                "readahead.extend",
+                requested=span_len,
+                extra=read_size - span_len,
+            )
 
         def _done() -> None:
             fill = [
@@ -461,6 +521,21 @@ class DiskController:
         self.drive.execute(job.start, job.n_blocks, is_write, _done)
 
     # ------------------------------------------------------------------
+
+    def sync_drive_times(self) -> None:
+        """Copy the drive's per-phase busy-time totals into ``stats``.
+
+        Idempotent (assignment, not accumulation); called before stats
+        are read so :class:`ControllerStats` carries the media
+        time-in-state split alongside its event counters.
+        """
+        drive = self.drive
+        stats = self.stats
+        stats.seek_ms = drive.seek_time_total
+        stats.rotation_ms = drive.rotation_time_total
+        stats.transfer_ms = drive.transfer_time_total
+        stats.overhead_ms = drive.overhead_time_total
+        stats.media_busy_ms = drive.busy_time
 
     @property
     def queue_length(self) -> int:

@@ -32,6 +32,14 @@ class ControllerStats:
     #: Times the media was deliberately held idle for the last reader
     #: (anticipatory scheduling; 0 unless enabled).
     anticipation_waits: int = 0
+    #: Media busy time split by phase (ms), synced from the drive by
+    #: :meth:`DiskController.sync_drive_times` — the time-in-state
+    #: breakdown (seek + rotation + transfer + overhead = busy).
+    seek_ms: float = 0.0
+    rotation_ms: float = 0.0
+    transfer_ms: float = 0.0
+    overhead_ms: float = 0.0
+    media_busy_ms: float = 0.0
 
     def merge(self, other: "ControllerStats") -> "ControllerStats":
         """Element-wise sum for array-wide aggregation."""

@@ -6,6 +6,12 @@ command overhead + seek from the current head position + sampled
 rotational latency + transfer of the whole run (requested plus
 read-ahead — "no other request can start before the disk head finishes
 reading all the blocks that had already been scheduled").
+
+Every operation's phase split (overhead/seek/rotation/transfer) is
+accumulated on the drive, so time-in-state breakdowns are available on
+every run; with tracing enabled the drive additionally emits one span
+per media operation on its ``diskN`` track and one span per phase on
+the ``diskN/state`` sub-track.
 """
 
 from __future__ import annotations
@@ -14,24 +20,37 @@ from typing import Callable
 
 from repro.errors import SimulationError
 from repro.mechanics.service import ServiceTimeModel
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
 
 
 class DiskDrive:
     """Serial media server for one physical disk."""
 
-    def __init__(self, disk_id: int, sim: Simulator, service_model: ServiceTimeModel):
+    def __init__(
+        self,
+        disk_id: int,
+        sim: Simulator,
+        service_model: ServiceTimeModel,
+        tracer=NULL_TRACER,
+    ):
         self.disk_id = disk_id
         self.sim = sim
         self.service_model = service_model
         self.geometry = service_model.geometry
         self.head_block = 0
         self.busy = False
+        self.tracer = tracer
+        self._track = f"disk{disk_id}"
+        self._state_track = f"disk{disk_id}/state"
         # accounting
         self.busy_time: float = 0.0
         self.operations: int = 0
         self.blocks_transferred: int = 0
         self.seek_time_total: float = 0.0
+        self.rotation_time_total: float = 0.0
+        self.transfer_time_total: float = 0.0
+        self.overhead_time_total: float = 0.0
 
     @property
     def head_cylinder(self) -> int:
@@ -60,12 +79,36 @@ class DiskDrive:
                 f"media op [{start_block},{start_block + n_blocks}) past disk end"
             )
 
-        duration = self.service_model.service_time(
+        phases = self.service_model.breakdown(
             self.head_block, start_block, n_blocks
         )
-        distance = self.geometry.seek_distance(self.head_block, start_block)
-        self.seek_time_total += self.service_model.seek_model.seek_time(distance)
+        duration = phases.total_ms
+        self.overhead_time_total += phases.overhead_ms
+        self.seek_time_total += phases.seek_ms
+        self.rotation_time_total += phases.rotation_ms
+        self.transfer_time_total += phases.transfer_ms
         self.busy = True
+
+        tracer = self.tracer
+        if tracer.enabled:
+            start_ts = self.sim.now
+            tracer.complete(
+                self._track,
+                "write" if is_write else "read",
+                start_ts,
+                duration,
+                start=start_block,
+                blocks=n_blocks,
+            )
+            ts = start_ts
+            for name, phase_ms in (
+                ("overhead", phases.overhead_ms),
+                ("seek", phases.seek_ms),
+                ("rotation", phases.rotation_ms),
+                ("transfer", phases.transfer_ms),
+            ):
+                tracer.complete(self._state_track, name, ts, phase_ms)
+                ts += phase_ms
 
         def _finish() -> None:
             self.busy = False

@@ -11,6 +11,16 @@ content-addressed result cache (default ``.repro_cache``; cells whose
 inputs and code are unchanged are served from disk). The merged output
 is byte-identical to the serial run; per-cell wall times and cache
 hit/miss counters go to stderr.
+
+Tracing: ``--trace`` records the run's request lifecycle with
+:class:`repro.obs.tracer.Tracer` and exports it on exit —
+Chrome-trace JSON by default (load in Perfetto / ``chrome://tracing``),
+or JSONL when ``--trace-out`` ends in ``.jsonl``. ``--trace-limit N``
+caps the event count. The experiment tables on stdout stay
+byte-identical to an untraced run; the trace summary and per-disk
+time-in-state table go to stderr. Tracing forces a serial in-process
+run (worker processes would record into their own tracers), so
+``--jobs`` is ignored with a warning.
 """
 
 from __future__ import annotations
@@ -30,10 +40,12 @@ def usage() -> str:
     return (
         "usage: repro-exp <experiment> [--scale X] [--chart]\n"
         "                 [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+        "                 [--trace] [--trace-out PATH] [--trace-limit N]\n"
         f"experiments: {names} all\n"
         "example: repro-exp fig03 --scale 0.2 --chart\n"
         "example: repro-exp fig07 --jobs 4          # parallel + cached\n"
-        "example: repro-exp fig07 --jobs 4 --no-cache"
+        "example: repro-exp fig07 --jobs 4 --no-cache\n"
+        "example: repro-exp fig07 --scale 0.05 --trace   # fig07.trace.json"
     )
 
 
@@ -46,6 +58,9 @@ def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
         "cache_dir": None,
         "no_cache": False,
         "chart": "--chart" in args,
+        "trace": "--trace" in args,
+        "trace_out": None,
+        "trace_limit": None,
     }
 
     def value_of(flag: str) -> Optional[str]:
@@ -63,7 +78,31 @@ def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
         opts["jobs"] = int(jobs)
     opts["cache_dir"] = value_of("--cache-dir")
     opts["no_cache"] = "--no-cache" in args
+    opts["trace_out"] = value_of("--trace-out")
+    limit = value_of("--trace-limit")
+    if limit is not None:
+        opts["trace_limit"] = int(limit)
+    # Pointing at an output file or capping events implies tracing.
+    if opts["trace_out"] is not None or opts["trace_limit"] is not None:
+        opts["trace"] = True
     return opts
+
+
+def _strip_trace_flags(rest: Sequence[str]) -> list:
+    """Remove the ``--trace*`` options before an experiment sees argv."""
+    out = []
+    skip = False
+    for arg in rest:
+        if skip:
+            skip = False
+            continue
+        if arg == "--trace":
+            continue
+        if arg in ("--trace-out", "--trace-limit"):
+            skip = True
+            continue
+        out.append(arg)
+    return out
 
 
 def _wants_parallel(opts: Dict[str, object]) -> bool:
@@ -123,6 +162,47 @@ def _dispatch(name: str, rest: Sequence[str], opts: Dict[str, object]) -> None:
         EXPERIMENTS[name](list(rest))
 
 
+def _export_trace(tracer, name: str, opts: Dict[str, object]) -> None:
+    """Write the recorded trace and a stderr summary."""
+    from repro.metrics.report import format_time_in_state
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.timeline import spans_time_in_state
+
+    path = opts["trace_out"] or f"{name}.trace.json"
+    if str(path).endswith(".jsonl"):
+        write_jsonl(tracer, path)
+    else:
+        write_chrome_trace(tracer, path)
+    dropped = f" ({tracer.dropped} dropped at --trace-limit)" if tracer.dropped else ""
+    print(
+        f"trace: {len(tracer.events)} events over {len(tracer.runs)} run(s)"
+        f"{dropped} -> {path}",
+        file=sys.stderr,
+    )
+    states = spans_time_in_state(tracer.events)
+    if states:
+        disks = sorted(states, key=lambda t: int(t[4:]) if t[4:].isdigit() else 0)
+        print("media time-in-state (ms, all runs):", file=sys.stderr)
+        print(format_time_in_state([states[d] for d in disks]), file=sys.stderr)
+
+
+def _dispatch_traced(name: str, rest: Sequence[str], opts: Dict[str, object]) -> None:
+    """Serial dispatch with a recording tracer installed for the run."""
+    from repro.obs.tracer import Tracer, tracing
+
+    if _wants_parallel(opts):
+        print(
+            "--trace records in-process; ignoring --jobs/--cache-dir "
+            "and running serially",
+            file=sys.stderr,
+        )
+    tracer = Tracer(limit=opts["trace_limit"])
+    serial_opts = dict(opts, jobs=None, cache_dir=None, no_cache=False)
+    with tracing(tracer):
+        _dispatch(name, _strip_trace_flags(rest), serial_opts)
+    _export_trace(tracer, name, opts)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Dispatch to one (or all) experiment drivers."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -135,15 +215,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if opts["jobs"] is not None and opts["jobs"] < 1:
         print(f"--jobs must be >= 1, got {opts['jobs']}", file=sys.stderr)
         return 2
+    dispatch = _dispatch_traced if opts["trace"] else _dispatch
     if name == "all":
         for exp_name in sorted(EXPERIMENTS):
-            _dispatch(exp_name, rest, opts)
+            dispatch(exp_name, rest, opts)
             print()
         return 0
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}\n{usage()}", file=sys.stderr)
         return 2
-    _dispatch(name, rest, opts)
+    dispatch(name, rest, opts)
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.hdc.profiler import BlockAccessProfiler
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
 from repro.metrics.collector import RunResult, collect_run_result
+from repro.obs.tracer import active_tracer
 from repro.readahead.bitmap import SequentialityBitmap
 from repro.workloads.trace import Trace
 
@@ -91,6 +92,7 @@ class TechniqueRunner:
         hdc_flush_interval_ms: float = 0.0,
         hdc_pin_fraction: float = 1.0,
         on_record_complete=None,
+        keep_raw_latencies: bool = True,
     ) -> RunResult:
         """Replay the workload under ``technique``; returns the result.
 
@@ -114,6 +116,12 @@ class TechniqueRunner:
             if config.readahead is ReadAheadKind.FILE_ORIENTED
             else None
         )
+        tracer = active_tracer()
+        if tracer.enabled:
+            unit_kb = config.array.striping_unit_bytes // 1024
+            tracer.new_run(
+                f"{technique.label} unit={unit_kb}KB hdc={hdc_bytes // 1024}KB"
+            )
         system = System(config, bitmaps=bitmaps)
 
         manager: Optional[HdcManager] = None
@@ -134,6 +142,7 @@ class TechniqueRunner:
             n_streams=n_streams,
             coalesce_prob=coalesce_prob,
             on_record_complete=on_record_complete,
+            keep_raw_latencies=keep_raw_latencies,
         )
         elapsed = driver.run()
         if manager is not None and flush_at_end:

@@ -34,8 +34,12 @@ from typing import Callable, List, Optional
 from repro.controller.commands import DiskCommand
 from repro.errors import WorkloadError
 from repro.host.system import System
+from repro.obs.metrics import Histogram, default_latency_buckets_ms
 from repro.oscache.coalesce import Coalescer
 from repro.workloads.trace import DiskAccess, Trace
+
+#: Tracer track carrying one async span per replayed trace record.
+HOST_TRACK = "host"
 
 
 class ReplayDriver:
@@ -48,6 +52,7 @@ class ReplayDriver:
         n_streams: Optional[int] = None,
         coalesce_prob: Optional[float] = None,
         on_record_complete: Optional[Callable[[DiskAccess], None]] = None,
+        keep_raw_latencies: bool = True,
     ):
         if len(trace) == 0:
             raise WorkloadError("cannot replay an empty trace")
@@ -66,9 +71,17 @@ class ReplayDriver:
         self.commands_issued = 0
         self.reads_merged = 0
         self.finish_time: float = 0.0
-        #: Issue-to-completion latency of every record, in ms.
+        #: Keep the raw per-record latency list (unbounded memory on
+        #: million-record traces); the histogram below is always kept.
+        self.keep_raw_latencies = keep_raw_latencies
+        #: Issue-to-completion latency of every record, in ms (empty
+        #: when ``keep_raw_latencies`` is False).
         self.record_latencies_ms: List[float] = []
-        # in-flight read runs -> stream ids waiting for that read
+        #: Fixed-bucket summary of every record latency, always filled.
+        self.latency_histogram = Histogram(
+            default_latency_buckets_ms(), name="record_latency_ms"
+        )
+        # in-flight read runs -> (record, stream, issued_at, span) waiters
         self._inflight: dict = {}
 
     # -- public API ---------------------------------------------------
@@ -104,12 +117,22 @@ class ReplayDriver:
 
     def _issue_record(self, record: DiskAccess, stream_id: int) -> None:
         issued_at = self.system.sim.now
+        tracer = self.system.tracer
+        span = 0
+        if tracer.enabled:
+            span = tracer.begin(
+                HOST_TRACK,
+                "record",
+                stream=stream_id,
+                write=record.is_write,
+                runs=len(record.runs),
+            )
         # Page-cache read merging: ride an identical in-flight read.
         key = record.runs if not record.is_write else None
         if key is not None:
             waiters = self._inflight.get(key)
             if waiters is not None:
-                waiters.append((record, stream_id, issued_at))
+                waiters.append((record, stream_id, issued_at, span))
                 self.reads_merged += 1
                 return
             self._inflight[key] = []
@@ -119,12 +142,16 @@ class ReplayDriver:
 
         def _all_done() -> None:
             self._note_latency(issued_at)
+            if span:
+                tracer.end(HOST_TRACK, "record", span)
             self._record_done(record, stream_id)
             if key is not None:
-                for waiting_record, waiting_stream, waited_since in (
+                for waiting_record, waiting_stream, waited_since, waited_span in (
                     self._inflight.pop(key, ())
                 ):
                     self._note_latency(waited_since)
+                    if waited_span:
+                        tracer.end(HOST_TRACK, "record", waited_span, merged=True)
                     self._record_done(waiting_record, waiting_stream)
 
         # Group by disk: chains run sequentially, disks in parallel.
@@ -155,7 +182,10 @@ class ReplayDriver:
             submit(head)
 
     def _note_latency(self, issued_at: float) -> None:
-        self.record_latencies_ms.append(self.system.sim.now - issued_at)
+        latency = self.system.sim.now - issued_at
+        self.latency_histogram.observe(latency)
+        if self.keep_raw_latencies:
+            self.record_latencies_ms.append(latency)
 
     def _record_done(self, record: DiskAccess, stream_id: int) -> None:
         self.records_completed += 1

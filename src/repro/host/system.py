@@ -23,6 +23,7 @@ from repro.controller.controller import DiskController
 from repro.disk.drive import DiskDrive
 from repro.errors import ConfigError
 from repro.mechanics.service import ServiceTimeModel
+from repro.obs.tracer import active_tracer
 from repro.readahead.base import ReadAheadPolicy
 from repro.readahead.bitmap import SequentialityBitmap
 from repro.readahead.blind import BlindReadAhead
@@ -41,12 +42,19 @@ class System:
         config: SimConfig,
         bitmaps: Optional[Sequence[SequentialityBitmap]] = None,
         deterministic_rotation: bool = False,
+        tracer=None,
     ):
+        """``tracer`` instruments every component; ``None`` (default)
+        uses the process-wide active tracer — the no-op
+        :data:`~repro.obs.tracer.NULL_TRACER` unless the experiments
+        CLI (or a test) installed a recording one."""
         config.validate()
         self.config = config
         self.sim = Simulator()
+        self.tracer = tracer if tracer is not None else active_tracer()
+        self.tracer.bind_clock(self.sim)
         self.streams = RandomStreams(config.seed)
-        self.bus = ScsiBus(self.sim, config.bus)
+        self.bus = ScsiBus(self.sim, config.bus, tracer=self.tracer)
         self.striping = StripingLayout(
             config.array.n_disks,
             config.array.unit_blocks(config.block_size),
@@ -72,7 +80,7 @@ class System:
                 rng=self.streams.stream(f"disk{disk_id}.rotation"),
                 deterministic_rotation=deterministic_rotation,
             )
-            drive = DiskDrive(disk_id, self.sim, service)
+            drive = DiskDrive(disk_id, self.sim, service, tracer=self.tracer)
             cache = self._make_cache(disk_id)
             readahead = self._make_readahead(disk_id)
             controller = DiskController(
@@ -87,6 +95,7 @@ class System:
                 pinned=PinnedRegion(config.hdc_blocks),
                 dispatch_recheck=config.dispatch_recheck,
                 anticipatory_wait_ms=config.anticipatory_wait_ms,
+                tracer=self.tracer,
             )
             controllers.append(controller)
         self.array = DiskArray(self.sim, self.striping, controllers, self.bus)

@@ -8,7 +8,7 @@ expectation used by the validation experiment and by
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import NamedTuple, Optional
 
 import numpy as np
 
@@ -17,6 +17,26 @@ from repro.geometry.disk_geometry import DiskGeometry
 from repro.mechanics.rotation import RotationModel
 from repro.mechanics.seek import SeekModel
 from repro.mechanics.transfer import TransferModel
+
+
+class ServiceBreakdown(NamedTuple):
+    """One media operation's service time split into its phases.
+
+    The phases tile the operation exactly:
+    ``total_ms == overhead + seek + rotation + transfer``.
+    """
+
+    overhead_ms: float
+    seek_ms: float
+    rotation_ms: float
+    transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """The operation's full duration."""
+        return (
+            self.overhead_ms + self.seek_ms + self.rotation_ms + self.transfer_ms
+        )
 
 
 class ServiceTimeModel:
@@ -38,16 +58,28 @@ class ServiceTimeModel:
         self.transfer_model = TransferModel(disk, block_size, self.geometry)
         self.command_overhead_ms = disk.command_overhead_ms
 
+    def breakdown(
+        self, from_block: int, start_block: int, n_blocks: int
+    ) -> ServiceBreakdown:
+        """Sampled per-phase service times for one media operation.
+
+        Samples the rotational latency exactly once, in the same order
+        as :meth:`service_time` always did, so replacing a
+        ``service_time`` call with ``breakdown(...).total_ms`` leaves
+        every random stream untouched.
+        """
+        distance = self.geometry.seek_distance(from_block, start_block)
+        return ServiceBreakdown(
+            overhead_ms=self.command_overhead_ms,
+            seek_ms=self.seek_model.seek_time(distance),
+            rotation_ms=self.rotation_model.latency(),
+            transfer_ms=self.transfer_model.transfer_time(n_blocks, start_block),
+        )
+
     def service_time(self, from_block: int, start_block: int, n_blocks: int) -> float:
         """Sampled media time to move from ``from_block`` and read/write
         ``n_blocks`` starting at ``start_block``."""
-        distance = self.geometry.seek_distance(from_block, start_block)
-        return (
-            self.command_overhead_ms
-            + self.seek_model.seek_time(distance)
-            + self.rotation_model.latency()
-            + self.transfer_model.transfer_time(n_blocks, start_block)
-        )
+        return self.breakdown(from_block, start_block, n_blocks).total_ms
 
     def expected_service_time(self, n_blocks: int, seek_distance: Optional[int] = None) -> float:
         """Analytic expectation of :meth:`service_time`.

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.cache.base import CacheStats
 from repro.controller.stats import ControllerStats
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
+from repro.obs.metrics import Histogram
+from repro.obs.timeline import drive_time_in_state
 from repro.units import MS_PER_S
 
 
@@ -26,7 +28,15 @@ class RunResult:
     disk_utilizations: List[float] = field(default_factory=list)
     bus_utilization: float = 0.0
     #: Record-level issue-to-completion latencies (ms), replay order.
+    #: Empty when the driver ran with ``keep_raw_latencies=False``.
     record_latencies_ms: List[float] = field(default_factory=list)
+    #: Fixed-bucket summary of the same latencies; always present for
+    #: driver-collected results, so percentiles survive dropping the
+    #: raw list on million-record traces.
+    latency_histogram: Optional[Histogram] = None
+    #: Per-disk media time split (overhead/seek/rotation/transfer/
+    #: busy/idle, ms), indexed by disk id.
+    time_in_state: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def io_time_s(self) -> float:
@@ -66,10 +76,16 @@ class RunResult:
         return max(self.disk_utilizations) / mean if mean > 0 else 1.0
 
     def latency_percentile(self, percentile: float) -> float:
-        """Record-latency percentile in ms (0 < percentile <= 100)."""
+        """Record-latency percentile in ms (0 < percentile <= 100).
+
+        Exact when the raw latency list was kept; otherwise estimated
+        from the histogram (bucket-interpolated).
+        """
         if not 0.0 < percentile <= 100.0:
             raise ValueError(f"percentile must be in (0, 100], got {percentile}")
         if not self.record_latencies_ms:
+            if self.latency_histogram is not None:
+                return self.latency_histogram.percentile(percentile)
             return 0.0
         ordered = sorted(self.record_latencies_ms)
         idx = max(0, int(round(percentile / 100.0 * len(ordered))) - 1)
@@ -77,8 +93,11 @@ class RunResult:
 
     @property
     def mean_latency_ms(self) -> float:
-        """Mean record latency in ms."""
+        """Mean record latency in ms (histogram-backed if raw dropped)."""
         if not self.record_latencies_ms:
+            hist = self.latency_histogram
+            if hist is not None and hist.count:
+                return hist.sum / hist.count
             return 0.0
         return sum(self.record_latencies_ms) / len(self.record_latencies_ms)
 
@@ -106,4 +125,8 @@ def collect_run_result(system: System, driver: ReplayDriver, elapsed_ms: float) 
         ],
         bus_utilization=system.bus.utilization(elapsed_ms),
         record_latencies_ms=driver.record_latencies_ms,
+        latency_histogram=driver.latency_histogram,
+        time_in_state=[
+            drive_time_in_state(c.drive, elapsed_ms) for c in array.controllers
+        ],
     )

@@ -28,3 +28,38 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def format_time_in_state(breakdowns: Sequence[dict]) -> str:
+    """Render per-disk media time-in-state (ms) as a text table.
+
+    ``breakdowns`` is :attr:`RunResult.time_in_state` — one dict per
+    disk with ``seek``/``rotation``/``transfer``/``overhead``/``busy``
+    keys (see :func:`repro.obs.timeline.drive_time_in_state`). The
+    ``idle`` and ``busy%`` columns appear only when the breakdowns
+    carry an ``idle`` entry (i.e. the elapsed time was known). A final
+    ``total`` row sums the array.
+    """
+    with_idle = len(breakdowns) > 0 and all("idle" in b for b in breakdowns)
+    headers = ["disk", "seek", "rotation", "transfer", "overhead", "busy"]
+    if with_idle:
+        headers += ["idle", "busy%"]
+    states = ("seek", "rotation", "transfer", "overhead", "busy", "idle")
+    rows: List[List[object]] = []
+    totals = {k: 0.0 for k in states}
+
+    def row_for(label: object, b: dict) -> List[object]:
+        row: List[object] = [label] + [b.get(k, 0.0) for k in states[:-1]]
+        if with_idle:
+            elapsed = b.get("busy", 0.0) + b.get("idle", 0.0)
+            pct = 100.0 * b.get("busy", 0.0) / elapsed if elapsed > 0 else 0.0
+            row += [b.get("idle", 0.0), pct]
+        return row
+
+    for disk_id, b in enumerate(breakdowns):
+        for k in states:
+            totals[k] += b.get(k, 0.0)
+        rows.append(row_for(disk_id, b))
+    if len(rows) > 1:
+        rows.append(row_for("total", totals))
+    return format_table(headers, rows)

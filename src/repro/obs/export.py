@@ -1,0 +1,142 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON.
+
+The Chrome format (the "JSON Array Format" of the trace-event spec) is
+what Perfetto and ``chrome://tracing`` load directly. Mapping:
+
+* each simulated run (a figure cell's technique replay) becomes one
+  *process* (``pid``), named after the run's label;
+* each track — host, bus, one per controller, one per disk plus its
+  ``/state`` phase sub-track — becomes a *thread* (``tid``) with a
+  ``thread_name`` metadata record;
+* timestamps/durations are converted from simulated milliseconds to
+  the format's microseconds.
+
+Media operations and bus transfers are ``"X"`` complete events;
+request lifecycles are ``"b"``/``"e"`` async pairs (they overlap, which
+synchronous B/E stacks cannot express); cache/HDC activity appears as
+``"i"`` instants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+#: Fixed-order track seeds so exported tids are stable run-to-run.
+_TRACK_PRIORITY = ("host", "bus")
+
+
+def _track_sort_key(track: str) -> tuple:
+    if track in _TRACK_PRIORITY:
+        return (0, _TRACK_PRIORITY.index(track), track)
+    return (1, 0, track)
+
+
+def chrome_trace_dict(tracer: Any) -> Dict[str, Any]:
+    """Convert a tracer's events to a Chrome trace-event document."""
+    tracks = sorted(
+        {event[2] for event in tracer.events}, key=_track_sort_key
+    )
+    tids = {track: tid for tid, track in enumerate(tracks)}
+    trace_events: List[Dict[str, Any]] = []
+
+    runs = list(tracer.runs) or ["run"]
+    seen_pids = sorted({event[0] for event in tracer.events}) or [0]
+    for run_idx in seen_pids:
+        pid = run_idx + 1
+        label = runs[run_idx] if run_idx < len(runs) else f"run{run_idx}"
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for track, tid in tids.items():
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+
+    for run_idx, ph, track, name, ts, dur, span_id, args in tracer.events:
+        event: Dict[str, Any] = {
+            "ph": ph,
+            "name": name,
+            "cat": "sim",
+            "pid": run_idx + 1,
+            "tid": tids[track],
+            "ts": ts * 1000.0,  # ms -> us
+        }
+        if ph == "X":
+            event["dur"] = dur * 1000.0
+        elif ph in ("b", "e"):
+            event["id"] = span_id
+        elif ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = dict(args)
+        trace_events.append(event)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Any, path) -> Path:
+    """Write :func:`chrome_trace_dict` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_dict(tracer)), encoding="utf-8")
+    return path
+
+
+def write_jsonl(tracer: Any, path) -> Path:
+    """Write one JSON object per event (simulated-ms timestamps).
+
+    A leading header line carries the run labels and drop count, so a
+    truncated trace is detectable by consumers.
+    """
+    path = Path(path)
+    runs = list(tracer.runs)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "runs": runs,
+                    "events": len(tracer.events),
+                    "dropped": tracer.dropped,
+                }
+            )
+            + "\n"
+        )
+        for run_idx, ph, track, name, ts, dur, span_id, args in tracer.events:
+            record: Dict[str, Any] = {
+                "run": runs[run_idx] if run_idx < len(runs) else run_idx,
+                "ph": ph,
+                "track": track,
+                "name": name,
+                "ts": ts,
+            }
+            if ph == "X":
+                record["dur"] = dur
+            if span_id:
+                record["span"] = span_id
+            if args:
+                record["args"] = dict(args)
+            fh.write(json.dumps(record) + "\n")
+    return path

@@ -1,0 +1,83 @@
+"""Per-disk time-in-state breakdowns (seek / rotation / transfer / idle).
+
+Two sources produce the same shape (a ``state -> ms`` mapping per
+disk):
+
+* :func:`spans_time_in_state` — derived from a tracer's recorded media
+  phase spans (the ``diskN/state`` tracks), available when a run was
+  traced;
+* :func:`drive_time_in_state` — derived from the always-on
+  :class:`~repro.disk.drive.DiskDrive` accumulators, available on every
+  run (this is what :class:`~repro.metrics.collector.RunResult`
+  carries).
+
+The mappings are plain dicts so they serialize and compare trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+#: The media phases of one operation, in service order. Their spans
+#: tile each operation's busy interval exactly.
+MEDIA_STATES = ("overhead", "seek", "rotation", "transfer")
+
+#: Suffix of the per-disk track carrying media phase spans.
+STATE_TRACK_SUFFIX = "/state"
+
+
+def drive_time_in_state(drive: Any, elapsed_ms: float) -> Dict[str, float]:
+    """Breakdown for one drive from its accumulated phase totals."""
+    busy = drive.busy_time
+    return {
+        "overhead": drive.overhead_time_total,
+        "seek": drive.seek_time_total,
+        "rotation": drive.rotation_time_total,
+        "transfer": drive.transfer_time_total,
+        "busy": busy,
+        "idle": max(0.0, elapsed_ms - busy),
+    }
+
+
+def spans_time_in_state(
+    events: Iterable[tuple],
+    elapsed_ms: float = 0.0,
+    run: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-disk breakdown summed from recorded media phase spans.
+
+    Returns ``{"disk0": {"seek": ..., ...}, ...}`` keyed by the disk
+    track name (the ``/state`` suffix is stripped). ``elapsed_ms``
+    (when > 0) adds an ``idle`` entry per disk; ``run`` restricts the
+    scan to one run partition of a multi-run tracer.
+    """
+    per_disk: Dict[str, Dict[str, float]] = {}
+    for event_run, ph, track, name, _ts, dur, _span, _args in events:
+        if ph != "X" or name not in MEDIA_STATES:
+            continue
+        if run is not None and event_run != run:
+            continue
+        if not track.endswith(STATE_TRACK_SUFFIX):
+            continue
+        disk = track[: -len(STATE_TRACK_SUFFIX)]
+        states = per_disk.get(disk)
+        if states is None:
+            states = dict.fromkeys(MEDIA_STATES, 0.0)
+            per_disk[disk] = states
+        states[name] += dur
+    for states in per_disk.values():
+        states["busy"] = sum(states[s] for s in MEDIA_STATES)
+        if elapsed_ms > 0:
+            states["idle"] = max(0.0, elapsed_ms - states["busy"])
+    return per_disk
+
+
+def merge_time_in_state(
+    breakdowns: Sequence[Mapping[str, float]]
+) -> Dict[str, float]:
+    """Element-wise sum of several per-disk breakdowns."""
+    total: Dict[str, float] = {}
+    for breakdown in breakdowns:
+        for state, ms in breakdown.items():
+            total[state] = total.get(state, 0.0) + ms
+    return total

@@ -1,0 +1,174 @@
+"""Schema validation for exported Chrome trace-event JSON.
+
+``python -m repro.obs.validate trace.json [--expect-disk-tracks N]``
+checks that a trace written by
+:func:`repro.obs.export.write_chrome_trace` is well-formed:
+
+* top level is an object with a ``traceEvents`` list;
+* every event carries the keys its phase requires (``ts`` numeric,
+  ``X`` has non-negative ``dur``, async ``b``/``e`` carry ``cat`` +
+  ``id``);
+* async spans balance: every ``b`` has exactly one matching ``e`` with
+  the same ``(pid, cat, id)`` and a non-earlier timestamp;
+* ``X`` spans on one ``(pid, tid)`` are properly nested (a span may
+  contain another, but partial overlap means the exporter emitted a
+  physically impossible timeline);
+* with ``--expect-disk-tracks N``: exactly N ``diskX`` thread-name
+  tracks exist and each records at least one media span.
+
+CI runs this against a traced smoke cell; exit status 0 means valid.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+_PHASES = {"X", "B", "E", "b", "e", "i", "I", "M", "C"}
+_NUMBER = (int, float)
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Return a list of problems (empty = valid Chrome trace)."""
+    problems: List[str] = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["top level must be an object with a 'traceEvents' list"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+
+    open_async: Dict[tuple, List[float]] = {}
+    x_spans: Dict[tuple, List[tuple]] = {}
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"{where}: missing pid/tid")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), _NUMBER):
+            problems.append(f"{where}: {ph!r} event needs a numeric 'ts'")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing event name")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, _NUMBER) or dur < 0:
+                problems.append(f"{where}: 'X' needs a non-negative 'dur'")
+            else:
+                key = (event["pid"], event["tid"])
+                x_spans.setdefault(key, []).append(
+                    (event["ts"], event["ts"] + dur, event.get("name"))
+                )
+        elif ph in ("b", "e"):
+            if "id" not in event or not isinstance(event.get("cat"), str):
+                problems.append(f"{where}: async {ph!r} needs 'cat' and 'id'")
+                continue
+            key = (event["pid"], event["cat"], event["id"])
+            if ph == "b":
+                open_async.setdefault(key, []).append(event["ts"])
+            else:
+                starts = open_async.get(key)
+                if not starts:
+                    problems.append(f"{where}: 'e' without matching 'b' {key}")
+                    continue
+                begin_ts = starts.pop()
+                if not starts:
+                    del open_async[key]
+                if event["ts"] < begin_ts:
+                    problems.append(
+                        f"{where}: span {key} ends at {event['ts']} "
+                        f"before its begin at {begin_ts}"
+                    )
+
+    for key, starts in open_async.items():
+        problems.append(f"unclosed async span {key} ({len(starts)} open)")
+
+    epsilon = 1e-6
+    for (pid, tid), spans in x_spans.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: List[tuple] = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1] - epsilon:
+                stack.pop()
+            if stack and end > stack[-1][1] + epsilon:
+                problems.append(
+                    f"pid={pid} tid={tid}: span {name!r} "
+                    f"[{start}, {end}) partially overlaps "
+                    f"[{stack[-1][0]}, {stack[-1][1]})"
+                )
+                continue
+            stack.append((start, end, name))
+    return problems
+
+
+def disk_track_names(data: Dict[str, Any]) -> List[str]:
+    """Names of ``diskN`` media tracks declared via thread_name metadata."""
+    names = set()
+    for event in data.get("traceEvents", []):
+        if not isinstance(event, dict) or event.get("ph") != "M":
+            continue
+        if event.get("name") != "thread_name":
+            continue
+        label = (event.get("args") or {}).get("name", "")
+        if (
+            isinstance(label, str)
+            and label.startswith("disk")
+            and label[4:].isdigit()
+        ):
+            names.add(label)
+    return sorted(names)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; prints problems and returns a status code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    expect_disks: Optional[int] = None
+    if "--expect-disk-tracks" in args:
+        idx = args.index("--expect-disk-tracks")
+        try:
+            expect_disks = int(args[idx + 1])
+        except (IndexError, ValueError):
+            print("--expect-disk-tracks needs an integer", file=sys.stderr)
+            return 2
+        del args[idx : idx + 2]
+    if len(args) != 1:
+        print(
+            "usage: python -m repro.obs.validate <trace.json> "
+            "[--expect-disk-tracks N]",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(args[0])
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable ({exc})", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(data)
+    if expect_disks is not None and not problems:
+        disks = disk_track_names(data)
+        if len(disks) != expect_disks:
+            problems.append(
+                f"expected {expect_disks} disk tracks, found "
+                f"{len(disks)}: {disks}"
+            )
+    for problem in problems:
+        print(f"{path}: {problem}", file=sys.stderr)
+    if not problems:
+        n_events = len(data["traceEvents"])
+        print(f"{path}: valid Chrome trace ({n_events} events)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

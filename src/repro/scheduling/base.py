@@ -11,6 +11,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Optional
 
+from repro.obs.tracer import NULL_TRACER
+
 
 class QueuedRequest:
     """A pending media request inside a controller queue."""
@@ -36,6 +38,13 @@ class IOScheduler(ABC):
         self._seq = 0
         self.enqueued_total = 0
         self.max_queue_len = 0
+        self._tracer = NULL_TRACER
+        self._track = ""
+
+    def attach_tracer(self, tracer, track: str) -> None:
+        """Emit queue events on ``track`` (the owning controller's)."""
+        self._tracer = tracer
+        self._track = track
 
     def push(self, cylinder: int, payload: Any, now: float) -> QueuedRequest:
         """Add a request targeting ``cylinder``; returns its queue entry."""
@@ -45,6 +54,10 @@ class IOScheduler(ABC):
         self._insert(req)
         if len(self) > self.max_queue_len:
             self.max_queue_len = len(self)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self._track, "queue.push", cylinder=cylinder, depth=len(self)
+            )
         return req
 
     @abstractmethod

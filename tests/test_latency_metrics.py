@@ -7,6 +7,7 @@ from repro import ultrastar_36z15_config
 from repro.cache.base import CacheStats
 from repro.controller.stats import ControllerStats
 from repro.metrics.collector import RunResult
+from repro.obs.metrics import Histogram, default_latency_buckets_ms
 from repro.units import KB
 
 
@@ -72,3 +73,60 @@ class TestReplayLatencies:
         segm, fo = results
         assert fo.latency_percentile(95) < segm.latency_percentile(95)
         assert fo.mean_latency_ms < segm.mean_latency_ms
+
+    def test_histogram_always_populated(self, results):
+        segm, _ = results
+        assert segm.latency_histogram is not None
+        assert segm.latency_histogram.count == segm.records
+        assert segm.latency_histogram.sum == pytest.approx(
+            sum(segm.record_latencies_ms)
+        )
+
+
+class TestHistogramFallback:
+    @pytest.fixture(scope="class")
+    def results(self):
+        spec = SyntheticSpec(n_requests=400, file_size_bytes=16 * KB)
+        layout, trace = SyntheticWorkload(spec).build()
+        runner = TechniqueRunner(layout, trace)
+        config = ultrastar_36z15_config()
+        full = runner.run(config, SEGM)
+        compact = runner.run(config, SEGM, keep_raw_latencies=False)
+        return full, compact
+
+    def test_raw_list_dropped_but_histogram_kept(self, results):
+        full, compact = results
+        assert compact.record_latencies_ms == []
+        assert compact.latency_histogram == full.latency_histogram
+        assert compact.latency_histogram.count == compact.records
+
+    def test_percentiles_fall_back_to_histogram(self, results):
+        full, compact = results
+        for p in (50, 95, 99):
+            exact = full.latency_percentile(p)
+            estimate = compact.latency_percentile(p)
+            assert estimate > 0
+            # Bucket-granular estimate: same 1-2.5-5 decade bucket, so
+            # within 2.5x of the exact rank statistic either way.
+            assert exact / 2.5 <= estimate <= exact * 2.5
+
+    def test_mean_falls_back_to_histogram(self, results):
+        full, compact = results
+        assert compact.mean_latency_ms == pytest.approx(full.mean_latency_ms)
+
+    def test_synthetic_histogram_fallback(self):
+        hist = Histogram(default_latency_buckets_ms())
+        hist.observe_many([1.0, 2.0, 3.0, 4.0])
+        result = RunResult(
+            io_time_ms=100.0,
+            records=4,
+            commands=4,
+            blocks_requested=4,
+            block_size=4096,
+            controller=ControllerStats(),
+            cache=CacheStats(),
+            latency_histogram=hist,
+        )
+        assert result.mean_latency_ms == pytest.approx(2.5)
+        assert result.latency_percentile(100) <= 4.0
+        assert result.latency_percentile(50) > 0

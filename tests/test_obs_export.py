@@ -1,0 +1,124 @@
+"""Trace exporters and the Chrome-trace schema validator."""
+
+import json
+
+import pytest
+
+from repro import SyntheticSpec, SyntheticWorkload
+from repro import ultrastar_36z15_config
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.obs.export import chrome_trace_dict, write_chrome_trace, write_jsonl
+from repro.obs.tracer import Tracer, tracing
+from repro.obs.validate import disk_track_names, main, validate_chrome_trace
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def traced():
+    spec = SyntheticSpec(n_requests=150, file_size_bytes=16 * KB)
+    layout, trace = SyntheticWorkload(spec).build()
+    config = ultrastar_36z15_config()
+    tracer = Tracer()
+    with tracing(tracer):
+        system = System(config)
+        ReplayDriver(system, trace).run()
+    return tracer, system
+
+
+class TestChromeExport:
+    def test_valid_schema(self, traced):
+        tracer, _ = traced
+        data = chrome_trace_dict(tracer)
+        assert validate_chrome_trace(data) == []
+
+    def test_one_track_per_disk_plus_shared(self, traced):
+        tracer, system = traced
+        data = chrome_trace_dict(tracer)
+        disks = disk_track_names(data)
+        assert len(disks) == system.config.array.n_disks
+        names = {
+            (e.get("args") or {}).get("name")
+            for e in data["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert "host" in names and "bus" in names
+        assert any(n.startswith("ctrl") for n in names)
+
+    def test_timestamps_in_microseconds(self, traced):
+        tracer, _ = traced
+        data = chrome_trace_dict(tracer)
+        sim_max = max(e[4] for e in tracer.events)
+        out_max = max(
+            e["ts"] for e in data["traceEvents"] if e.get("ph") != "M"
+        )
+        assert out_max == pytest.approx(sim_max * 1000.0)
+
+    def test_write_roundtrip(self, traced, tmp_path):
+        tracer, _ = traced
+        path = write_chrome_trace(tracer, tmp_path / "t.trace.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(data) == []
+        assert data["displayTimeUnit"] == "ms"
+
+
+class TestJsonlExport:
+    def test_header_and_lines(self, traced, tmp_path):
+        tracer, _ = traced
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        assert header["events"] == len(tracer.events)
+        assert header["dropped"] == 0
+        assert len(lines) == len(tracer.events) + 1
+        sample = json.loads(lines[1])
+        assert {"run", "ph", "track", "name", "ts"} <= set(sample)
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"nope": 1}) != []
+
+    def test_detects_unbalanced_async(self, traced):
+        tracer, _ = traced
+        data = chrome_trace_dict(tracer)
+        events = [e for e in data["traceEvents"] if e.get("ph") != "e"]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("unclosed" in p for p in problems)
+
+    def test_detects_partial_overlap(self):
+        events = [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 0, "ts": 0, "dur": 10},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 0, "ts": 5, "dur": 10},
+        ]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("overlap" in p for p in problems)
+
+    def test_nested_x_spans_allowed(self):
+        events = [
+            {"ph": "X", "name": "outer", "pid": 1, "tid": 0, "ts": 0, "dur": 10},
+            {"ph": "X", "name": "inner", "pid": 1, "tid": 0, "ts": 2, "dur": 3},
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+    def test_cli_accepts_valid_trace(self, traced, tmp_path, capsys):
+        tracer, system = traced
+        path = write_chrome_trace(tracer, tmp_path / "t.trace.json")
+        n_disks = system.config.array.n_disks
+        assert main([str(path), "--expect-disk-tracks", str(n_disks)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_cli_rejects_wrong_disk_count(self, traced, tmp_path, capsys):
+        tracer, _ = traced
+        path = write_chrome_trace(tracer, tmp_path / "t.trace.json")
+        assert main([str(path), "--expect-disk-tracks", "99"]) == 1
+
+    def test_cli_rejects_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main([str(path)]) == 1
+
+    def test_cli_usage_errors(self, capsys):
+        assert main([]) == 2
+        assert main(["a.json", "--expect-disk-tracks", "x"]) == 2

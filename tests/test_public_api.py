@@ -40,6 +40,7 @@ def test_all_has_no_duplicates():
         "repro.workloads",
         "repro.analysis",
         "repro.metrics",
+        "repro.obs",
         "repro.experiments",
     ],
 )
