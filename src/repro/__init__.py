@@ -65,7 +65,19 @@ from repro.hdc.manager import HdcManager
 from repro.hdc.planner import HdcPlan, plan_pin_sets
 from repro.hdc.profiler import BlockAccessProfiler
 from repro.hdc.victim import VictimCacheManager
-from repro.array.raid import MirroredArray
+from repro.array.raid import MirroredArray, Raid5Array, RebuildStream
+from repro.faults import (
+    FaultPlan,
+    FaultProfile,
+    FaultRuntime,
+    FaultSummary,
+    PROFILES,
+    RetryPolicy,
+    fault_profile,
+    get_profile,
+    install_fault_profile,
+    uninstall_fault_profile,
+)
 from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
@@ -143,8 +155,21 @@ __all__ = [
     "BlockAccessProfiler",
     "VictimCacheManager",
     "MirroredArray",
+    "Raid5Array",
+    "RebuildStream",
     "CooperativeHdc",
     "plan_cooperative_pins",
+    # fault injection
+    "FaultProfile",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultRuntime",
+    "FaultSummary",
+    "PROFILES",
+    "get_profile",
+    "fault_profile",
+    "install_fault_profile",
+    "uninstall_fault_profile",
     # observability
     "Tracer",
     "NULL_TRACER",

@@ -1,16 +1,26 @@
-"""RAID-1 mirroring over the striped array (an extension).
+"""RAID layers over the striped array: mirroring and rotating parity.
 
 The paper treats replication (e.g. Yu et al.'s capacity-for-performance
 trading, its ref. [34]) as orthogonal to FOR/HDC. This module makes the
 combination concrete: a :class:`MirroredArray` presents the same
 logical-run interface as :class:`~repro.array.array.DiskArray` but keeps
-two copies of every striping unit on distinct disks.
+two copies of every striping unit on distinct disks, and
+:class:`Raid5Array` spreads a rotating parity unit across all spindles.
 
 * **Reads** go to the replica whose disk currently has the shorter
   queue (and, on ties, the closer head) — the classic mirrored-read
   optimisation.
 * **Writes** go to both replicas and complete when the slower one
   lands, preserving durability semantics.
+
+With fault injection attached (:mod:`repro.faults`), both layers serve
+**degraded reads**: a read that fails on its home disk (retries
+exhausted, or the disk is inside a failure window) is transparently
+re-issued against the redundancy — the mirror partner, or a RAID-5
+reconstruction read of every surviving disk in the stripe row. When a
+failed disk comes back, a background :class:`RebuildStream` copies its
+contents from the surviving redundancy in chunks, competing with host
+traffic for media time through the normal controller scheduler.
 
 FOR needs one sequentiality bitmap per *physical* disk; with mirroring,
 each replica disk gets the bitmap derived from its own physical layout,
@@ -19,12 +29,45 @@ which :func:`mirrored_striping` exposes via two striping views.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.array.array import DiskArray
 from repro.array.striping import StripingLayout
 from repro.controller.commands import DiskCommand
 from repro.errors import ConfigError, SimulationError
+from repro.faults.injector import UNRECOVERABLE
+
+
+# -- parity arithmetic (pure; the degraded-read contents proof) ---------
+
+
+def xor_bytes(*chunks: bytes) -> bytes:
+    """Byte-wise XOR of equal-length chunks (RAID-5's only arithmetic)."""
+    if not chunks:
+        raise ConfigError("xor_bytes needs at least one chunk")
+    length = len(chunks[0])
+    for c in chunks:
+        if len(c) != length:
+            raise ConfigError("xor_bytes chunks must have equal length")
+    out = bytearray(length)
+    for c in chunks:
+        for i, b in enumerate(c):
+            out[i] ^= b
+    return bytes(out)
+
+
+def raid5_parity(data_chunks: Sequence[bytes]) -> bytes:
+    """Parity unit protecting one stripe row of data units."""
+    return xor_bytes(*data_chunks)
+
+
+def raid5_reconstruct(surviving_chunks: Sequence[bytes]) -> bytes:
+    """Rebuild the missing unit from the row's n-1 survivors.
+
+    ``surviving_chunks`` is the row's remaining data units plus its
+    parity unit, in any order: XOR of all of them is the lost unit.
+    """
+    return xor_bytes(*surviving_chunks)
 
 
 def mirrored_striping(
@@ -36,14 +79,106 @@ def mirrored_striping(
     return StripingLayout(n_disks // 2, unit_blocks, disk_blocks)
 
 
+class RebuildStream:
+    """Background copy restoring a recovered disk, chunk by chunk.
+
+    Each chunk is one internal media read on every ``source`` controller
+    (the mirror partner, or all RAID-5 survivors for reconstruction)
+    followed by one internal write on the ``target``; the next chunk
+    starts only when the write lands, so the stream is self-pacing and
+    competes with host traffic through the ordinary schedulers rather
+    than monopolising the media. The stream abandons itself if the
+    target (or any source) fails again mid-rebuild — a later recovery
+    starts a fresh stream.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence,
+        target,
+        span_blocks: int,
+        chunk_blocks: int,
+        runtime=None,
+        on_complete: Optional[Callable[["RebuildStream"], None]] = None,
+    ):
+        if not sources:
+            raise ConfigError("rebuild needs at least one source disk")
+        if chunk_blocks < 1:
+            raise ConfigError(f"rebuild chunk must be >=1 block, got {chunk_blocks}")
+        self.sources = list(sources)
+        self.target = target
+        self.next_block = 0
+        self.end_block = min(span_blocks, target.drive.geometry.n_blocks)
+        self.chunk_blocks = chunk_blocks
+        self.runtime = runtime
+        self.on_complete = on_complete
+        self.blocks_copied = 0
+        self.cancelled = False
+        self.completed = False
+
+    def start(self) -> None:
+        """Begin copying; completion/abandonment fires ``on_complete``."""
+        self._next_chunk()
+
+    def cancel(self) -> None:
+        """Abandon the stream (the target failed again)."""
+        self.cancelled = True
+
+    def _abandoned(self) -> bool:
+        return (
+            self.cancelled
+            or self.target.offline
+            or any(s.offline for s in self.sources)
+        )
+
+    def _next_chunk(self) -> None:
+        if self._abandoned():
+            self._finish()
+            return
+        if self.next_block >= self.end_block:
+            self.completed = True
+            self._finish()
+            return
+        start = self.next_block
+        n = min(self.chunk_blocks, self.end_block - start)
+        remaining = len(self.sources)
+
+        def _after_write() -> None:
+            self.blocks_copied += n
+            if self.runtime is not None:
+                self.runtime.note_rebuild_blocks(n)
+            self.next_block = start + n
+            self._next_chunk()
+
+        def _one_source_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining > 0:
+                return
+            if self._abandoned():
+                self._finish()
+                return
+            self.target.internal_write(start, n, _after_write)
+
+        for source in self.sources:
+            source.internal_read(start, n, _one_source_done)
+
+    def _finish(self) -> None:
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
 class MirroredArray:
     """RAID-1: each logical block lives on disks ``d`` and ``d + D/2``.
 
     Wraps an existing :class:`DiskArray` built with all ``D`` physical
     disks; logical addressing covers only the primary half's capacity.
+    With a :class:`~repro.faults.injector.FaultRuntime` attached, failed
+    reads fall back to the partner replica (degraded reads) and a
+    recovered disk is rebuilt from its partner in the background.
     """
 
-    def __init__(self, array: DiskArray):
+    def __init__(self, array: DiskArray, faults=None):
         if array.n_disks % 2:
             raise ConfigError(
                 f"mirroring needs an even disk count, got {array.n_disks}"
@@ -56,14 +191,60 @@ class MirroredArray:
         )
         self.reads_primary = 0
         self.reads_mirror = 0
+        self.degraded_reads = 0
+        self.unrecovered_reads = 0
+        self.faults = faults
+        self._tracer = array.controllers[0].tracer
+        #: Every rebuild stream ever started (diagnostics/tests).
+        self.rebuilds: List[RebuildStream] = []
+        self._active_rebuilds: dict = {}
+        if faults is not None:
+            faults.add_listener(self._fault_event)
+
+    # -- fault plumbing -------------------------------------------------
+
+    def _partner(self, disk: int) -> int:
+        """The other member of ``disk``'s replica pair."""
+        return disk + self.half if disk < self.half else disk - self.half
+
+    def _fault_event(self, event: str, disk: int) -> None:
+        if event == "fail":
+            stream = self._active_rebuilds.pop(disk, None)
+            if stream is not None:
+                stream.cancel()
+        elif event == "recover":
+            self._start_rebuild(disk)
+
+    def _start_rebuild(self, disk: int) -> None:
+        profile = self.faults.profile
+        if profile.rebuild_span_blocks <= 0 or disk in self._active_rebuilds:
+            return
+        source = self.array.controllers[self._partner(disk)]
+        if source.offline:
+            return  # no healthy copy to rebuild from
+        target = self.array.controllers[disk]
+        stream = RebuildStream(
+            [source],
+            target,
+            profile.rebuild_span_blocks,
+            profile.rebuild_chunk_blocks,
+            runtime=self.faults,
+            on_complete=lambda s, d=disk: self._active_rebuilds.pop(d, None),
+        )
+        self._active_rebuilds[disk] = stream
+        self.rebuilds.append(stream)
+        stream.start()
 
     # -- replica selection ---------------------------------------------
 
     def _pick_read_replica(self, disk: int, start: int) -> int:
         """Choose the primary (``disk``) or its mirror by queue length,
-        breaking ties by head distance."""
+        breaking ties by head distance; a failed replica is never
+        chosen while its partner is healthy."""
         primary = self.array.controllers[disk]
         mirror = self.array.controllers[disk + self.half]
+        if primary.offline != mirror.offline:
+            return disk + self.half if primary.offline else disk
         p_load = primary.queue_length + (1 if primary.drive.busy else 0)
         m_load = mirror.queue_length + (1 if mirror.drive.busy else 0)
         if p_load != m_load:
@@ -72,6 +253,57 @@ class MirroredArray:
         p_dist = abs(primary.drive.head_cylinder - cylinder)
         m_dist = abs(mirror.drive.head_cylinder - cylinder)
         return disk if p_dist <= m_dist else disk + self.half
+
+    def _issue_read_with_fallback(
+        self,
+        cmd: DiskCommand,
+        resolve: Callable[[DiskCommand], None],
+    ) -> None:
+        """Submit physical read ``cmd``; on failure retry its partner.
+
+        ``resolve`` receives the command that finally settled the read —
+        the original on success, the partner's on a degraded read (check
+        its ``error`` for the both-replicas-lost case).
+        """
+        partner = self._partner(cmd.disk_id)
+
+        def _primary_done(c: DiskCommand) -> None:
+            if c.error is None:
+                resolve(c)
+                return
+
+            def _fallback_done(c2: DiskCommand) -> None:
+                if c2.error is None:
+                    self.degraded_reads += 1
+                    if self.faults is not None:
+                        self.faults.note_degraded_read()
+                    if self._tracer.enabled:
+                        self._tracer.instant(
+                            "raid", "raid.degraded-read", disk=partner
+                        )
+                else:
+                    self.unrecovered_reads += 1
+                    if self.faults is not None:
+                        self.faults.note_unrecovered_read()
+                    if self._tracer.enabled:
+                        self._tracer.instant(
+                            "raid", "raid.unrecovered-read", disk=partner
+                        )
+                resolve(c2)
+
+            self.array.submit_command(
+                DiskCommand(
+                    partner,
+                    c.start_block,
+                    c.n_blocks,
+                    False,
+                    c.stream_id,
+                    _fallback_done,
+                )
+            )
+
+        cmd.on_complete = _primary_done
+        self.array.submit_command(cmd)
 
     # -- public interface ------------------------------------------------
 
@@ -86,23 +318,8 @@ class MirroredArray:
         """Fan a logical run out with mirrored semantics."""
         runs = self.striping.map_run(logical_start, n_blocks)
         commands: List[DiskCommand] = []
-        for run in runs:
-            if is_write:
-                # write both replicas
-                for disk in (run.disk, run.disk + self.half):
-                    commands.append(
-                        DiskCommand(disk, run.start, run.n_blocks, True, stream_id)
-                    )
-            else:
-                disk = self._pick_read_replica(run.disk, run.start)
-                if disk == run.disk:
-                    self.reads_primary += 1
-                else:
-                    self.reads_mirror += 1
-                commands.append(
-                    DiskCommand(disk, run.start, run.n_blocks, False, stream_id)
-                )
-        remaining = len(commands)
+        issues: List[Callable[[], None]] = []
+        remaining = 0
 
         def _sub_done(_cmd: DiskCommand) -> None:
             nonlocal remaining
@@ -110,11 +327,98 @@ class MirroredArray:
             if remaining == 0 and on_complete is not None:
                 on_complete()
 
-        for cmd in commands:
-            cmd.on_complete = _sub_done
-        for cmd in commands:
-            self.array.submit_command(cmd)
+        for run in runs:
+            if is_write:
+                # write both replicas
+                for disk in (run.disk, run.disk + self.half):
+                    cmd = DiskCommand(
+                        disk, run.start, run.n_blocks, True, stream_id, _sub_done
+                    )
+                    commands.append(cmd)
+                    issues.append(
+                        lambda c=cmd: self.array.submit_command(c)
+                    )
+            else:
+                disk = self._pick_read_replica(run.disk, run.start)
+                if disk == run.disk:
+                    self.reads_primary += 1
+                else:
+                    self.reads_mirror += 1
+                cmd = DiskCommand(disk, run.start, run.n_blocks, False, stream_id)
+                commands.append(cmd)
+                issues.append(
+                    lambda c=cmd: self._issue_read_with_fallback(c, _sub_done)
+                )
+        # Count before issuing, so `remaining` is stable even if a
+        # command completes synchronously-soon via zero-delay events.
+        remaining = len(commands)
+        for issue in issues:
+            issue()
         return commands
+
+    def submit_command(self, cmd: DiskCommand) -> None:
+        """Logical-half-space command entry (the ReplayDriver interface).
+
+        ``cmd.disk_id`` addresses the *replica pair* (0..D/2): reads go
+        to the healthier replica with degraded fallback to its partner;
+        writes land on both members. ``cmd`` completes once — with
+        ``error`` set to :data:`~repro.faults.injector.UNRECOVERABLE`
+        when no replica could serve it.
+        """
+        if not 0 <= cmd.disk_id < self.half:
+            raise SimulationError(
+                f"mirrored command addresses pair {cmd.disk_id}, "
+                f"array has {self.half} pairs"
+            )
+        sim = self.array.sim
+        cmd.issued_at = sim.now
+        if cmd.is_write:
+            remaining = 2
+            errors: List[str] = []
+
+            def _one_replica_done(c: DiskCommand) -> None:
+                nonlocal remaining
+                remaining -= 1
+                if c.error is not None:
+                    errors.append(c.error)
+                if remaining == 0:
+                    # One surviving copy is enough: the write only
+                    # fails when both replicas rejected it.
+                    if len(errors) == 2:
+                        cmd.error = UNRECOVERABLE
+                    cmd.finish(sim.now)
+
+            replicas = [
+                DiskCommand(
+                    disk,
+                    cmd.start_block,
+                    cmd.n_blocks,
+                    True,
+                    cmd.stream_id,
+                    _one_replica_done,
+                )
+                for disk in (cmd.disk_id, cmd.disk_id + self.half)
+            ]
+            for replica in replicas:
+                self.array.submit_command(replica)
+            return
+
+        disk = self._pick_read_replica(cmd.disk_id, cmd.start_block)
+        if disk == cmd.disk_id:
+            self.reads_primary += 1
+        else:
+            self.reads_mirror += 1
+
+        def _resolved(c: DiskCommand) -> None:
+            cmd.served_from_cache = c.served_from_cache
+            if c.error is not None:
+                cmd.error = UNRECOVERABLE
+            cmd.finish(sim.now)
+
+        self._issue_read_with_fallback(
+            DiskCommand(disk, cmd.start_block, cmd.n_blocks, False, cmd.stream_id),
+            _resolved,
+        )
 
     @property
     def n_disks(self) -> int:
@@ -129,3 +433,275 @@ class MirroredArray:
     def read_balance(self) -> Tuple[int, int]:
         """(primary, mirror) read counts — load-balancing diagnostics."""
         return self.reads_primary, self.reads_mirror
+
+
+class Raid5Array:
+    """RAID-5: left-symmetric rotating parity over the physical array.
+
+    Each stripe row holds ``n - 1`` data units plus one parity unit;
+    the parity unit rotates across the spindles row by row, so parity
+    traffic is spread instead of bottlenecking one disk (the RAID-4
+    problem). Logical addressing covers the data units only, giving
+    ``(n-1)/n`` of the raw capacity.
+
+    Writes model a *simplified* read-modify-write: the data-unit write
+    and the parity-unit write are issued as media operations, but the
+    two RMW pre-reads are omitted — this keeps the logical interface
+    one-shot (no multi-phase command chains) while preserving the
+    placement and the two-spindles-per-write media load.
+
+    With a fault runtime attached, a read whose home disk cannot serve
+    it is reconstructed from the row's survivors: one read on each of
+    the other ``n - 1`` disks (data + parity), the XOR being free at
+    simulation fidelity (:func:`raid5_reconstruct` proves the
+    arithmetic). Two lost members in a row means data loss —
+    the read completes with :data:`~repro.faults.injector.UNRECOVERABLE`.
+    """
+
+    def __init__(self, array: DiskArray, faults=None):
+        if array.n_disks < 3:
+            raise ConfigError(
+                f"RAID-5 needs at least 3 disks, got {array.n_disks}"
+            )
+        self.array = array
+        self.n = array.n_disks
+        base = array.striping
+        self.unit = base.unit_blocks
+        #: Logical capacity view: n-1 data units per row.
+        self.striping = StripingLayout(
+            self.n - 1, base.unit_blocks, base.disk_blocks
+        )
+        self.degraded_reads = 0
+        self.unrecovered_reads = 0
+        self.faults = faults
+        self._tracer = array.controllers[0].tracer
+        self.rebuilds: List[RebuildStream] = []
+        self._active_rebuilds: dict = {}
+        if faults is not None:
+            faults.add_listener(self._fault_event)
+
+    # -- layout ---------------------------------------------------------
+
+    def parity_disk(self, row: int) -> int:
+        """The disk holding ``row``'s parity unit (left-symmetric)."""
+        return (self.n - 1 - (row % self.n)) % self.n
+
+    def locate(self, logical_block: int) -> Tuple[int, int]:
+        """Map a logical block to its (disk, physical block) home."""
+        unit = self.unit
+        stripe = logical_block // unit
+        row = stripe // (self.n - 1)
+        index = stripe % (self.n - 1)
+        pd = self.parity_disk(row)
+        disk = (pd + 1 + index) % self.n
+        return disk, row * unit + (logical_block % unit)
+
+    def _segments(
+        self, logical_start: int, n_blocks: int
+    ) -> List[Tuple[int, int, int, int]]:
+        """Split a logical run at unit boundaries: (disk, phys, len, row)."""
+        if n_blocks < 1:
+            raise SimulationError(f"run must cover >=1 block, got {n_blocks}")
+        segments = []
+        lb = logical_start
+        end = logical_start + n_blocks
+        while lb < end:
+            unit_end = (lb // self.unit + 1) * self.unit
+            seg_len = min(end, unit_end) - lb
+            disk, phys = self.locate(lb)
+            row = (lb // self.unit) // (self.n - 1)
+            segments.append((disk, phys, seg_len, row))
+            lb += seg_len
+        return segments
+
+    # -- fault plumbing -------------------------------------------------
+
+    def _fault_event(self, event: str, disk: int) -> None:
+        if event == "fail":
+            stream = self._active_rebuilds.pop(disk, None)
+            if stream is not None:
+                stream.cancel()
+        elif event == "recover":
+            self._start_rebuild(disk)
+
+    def _start_rebuild(self, disk: int) -> None:
+        profile = self.faults.profile
+        if profile.rebuild_span_blocks <= 0 or disk in self._active_rebuilds:
+            return
+        sources = [
+            ctrl
+            for d, ctrl in enumerate(self.array.controllers)
+            if d != disk
+        ]
+        if any(s.offline for s in sources):
+            return  # a second failure is in progress: nothing to copy from
+        stream = RebuildStream(
+            sources,
+            self.array.controllers[disk],
+            profile.rebuild_span_blocks,
+            profile.rebuild_chunk_blocks,
+            runtime=self.faults,
+            on_complete=lambda s, d=disk: self._active_rebuilds.pop(d, None),
+        )
+        self._active_rebuilds[disk] = stream
+        self.rebuilds.append(stream)
+        stream.start()
+
+    # -- request paths --------------------------------------------------
+
+    def _reconstruct_read(
+        self,
+        lost_disk: int,
+        phys: int,
+        length: int,
+        stream_id: int,
+        resolve: Callable[[Optional[str]], None],
+    ) -> List[DiskCommand]:
+        """Serve a read by XOR-reconstruction from the row's survivors."""
+        survivors = [d for d in range(self.n) if d != lost_disk]
+        if any(self.array.controllers[d].offline for d in survivors):
+            self.unrecovered_reads += 1
+            if self.faults is not None:
+                self.faults.note_unrecovered_read()
+            resolve(UNRECOVERABLE)
+            return []
+        remaining = len(survivors)
+        errors: List[str] = []
+
+        def _one_done(c: DiskCommand) -> None:
+            nonlocal remaining
+            if c.error is not None:
+                errors.append(c.error)
+            remaining -= 1
+            if remaining:
+                return
+            if errors:
+                self.unrecovered_reads += 1
+                if self.faults is not None:
+                    self.faults.note_unrecovered_read()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "raid", "raid.unrecovered-read", disk=lost_disk
+                    )
+                resolve(UNRECOVERABLE)
+            else:
+                self.degraded_reads += 1
+                if self.faults is not None:
+                    self.faults.note_degraded_read()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "raid", "raid.reconstructed-read", disk=lost_disk
+                    )
+                resolve(None)
+
+        commands = [
+            DiskCommand(d, phys, length, False, stream_id, _one_done)
+            for d in survivors
+        ]
+        for cmd in commands:
+            self.array.submit_command(cmd)
+        return commands
+
+    def _issue_read(
+        self,
+        disk: int,
+        phys: int,
+        length: int,
+        stream_id: int,
+        resolve: Callable[[Optional[str]], None],
+    ) -> List[DiskCommand]:
+        """Read a data segment, reconstructing if its disk cannot serve."""
+        if self.array.controllers[disk].offline:
+            return self._reconstruct_read(disk, phys, length, stream_id, resolve)
+
+        def _primary_done(c: DiskCommand) -> None:
+            if c.error is None:
+                resolve(None)
+                return
+            self._reconstruct_read(disk, phys, length, stream_id, resolve)
+
+        cmd = DiskCommand(disk, phys, length, False, stream_id, _primary_done)
+        self.array.submit_command(cmd)
+        return [cmd]
+
+    def _issue_write(
+        self,
+        disk: int,
+        row: int,
+        phys: int,
+        length: int,
+        stream_id: int,
+        resolve: Callable[[Optional[str]], None],
+    ) -> List[DiskCommand]:
+        """Write a data segment plus its row's parity (simplified RMW)."""
+        pd = self.parity_disk(row)
+        targets = [
+            d for d in (disk, pd) if not self.array.controllers[d].offline
+        ]
+        if not targets:
+            resolve(UNRECOVERABLE)
+            return []
+        remaining = len(targets)
+        errors: List[str] = []
+
+        def _one_done(c: DiskCommand) -> None:
+            nonlocal remaining
+            if c.error is not None:
+                errors.append(c.error)
+            remaining -= 1
+            if remaining == 0:
+                # Parity makes one landed copy recoverable; all-lost is not.
+                resolve(UNRECOVERABLE if len(errors) == len(targets) else None)
+
+        commands = [
+            DiskCommand(d, phys, length, True, stream_id, _one_done)
+            for d in targets
+        ]
+        for cmd in commands:
+            self.array.submit_command(cmd)
+        return commands
+
+    def submit_logical(
+        self,
+        logical_start: int,
+        n_blocks: int,
+        is_write: bool = False,
+        stream_id: int = -1,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> List[DiskCommand]:
+        """Fan a logical run out with RAID-5 semantics.
+
+        Returns the commands issued to the segments' home disks (a
+        degraded segment contributes its reconstruction reads instead).
+        ``on_complete`` fires when every segment has settled.
+        """
+        segments = self._segments(logical_start, n_blocks)
+        remaining = len(segments)
+
+        def _seg_done(error: Optional[str] = None) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        commands: List[DiskCommand] = []
+        for disk, phys, length, row in segments:
+            if is_write:
+                commands.extend(
+                    self._issue_write(disk, row, phys, length, stream_id, _seg_done)
+                )
+            else:
+                commands.extend(
+                    self._issue_read(disk, phys, length, stream_id, _seg_done)
+                )
+        return commands
+
+    @property
+    def n_disks(self) -> int:
+        """Physical spindles."""
+        return self.n
+
+    @property
+    def logical_capacity_blocks(self) -> int:
+        """Usable capacity: (n-1)/n of the raw blocks."""
+        return self.striping.total_blocks

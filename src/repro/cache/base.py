@@ -36,6 +36,10 @@ class CacheStats:
     #: Blocks evicted without ever being accessed by the host —
     #: the paper's "useless read-ahead blocks" (cache pollution).
     useless_evictions: int = 0
+    #: Fill blocks dropped because a single fill run exceeded the pool
+    #: and nothing outside the run itself was evictable (the run's tail
+    #: is sacrificed, never its head).
+    fill_overflow_blocks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +62,9 @@ class CacheStats:
             blocks_filled=self.blocks_filled + other.blocks_filled,
             evictions=self.evictions + other.evictions,
             useless_evictions=self.useless_evictions + other.useless_evictions,
+            fill_overflow_blocks=(
+                self.fill_overflow_blocks + other.fill_overflow_blocks
+            ),
         )
 
 

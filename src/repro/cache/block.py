@@ -19,7 +19,7 @@ Implementation: two recency lists (ordered dicts) —
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.config import BlockPolicy
 from repro.errors import CacheError
@@ -74,42 +74,69 @@ class BlockCache(ControllerCache):
         if not blocks:
             return
         self.stats.fills += 1
+        # Blocks inserted by THIS call are exempt from its own
+        # evictions: a read-ahead run larger than the free pool must
+        # not drop its own head (the blocks the host consumes first)
+        # to make room for its tail. When nothing evictable remains,
+        # the tail that does not fit is dropped instead.
+        in_flight: set = set()
         for b in blocks:
             if b in self._accessed or b in self._unaccessed:
                 continue
             if len(self._accessed) + len(self._unaccessed) >= self.capacity_blocks:
-                self._evict_one()
+                if not self._evict_one(in_flight):
+                    self.stats.fill_overflow_blocks += 1
+                    continue
             self._unaccessed[b] = None
+            in_flight.add(b)
             self.stats.blocks_filled += 1
 
-    def _evict_one(self) -> None:
-        self.stats.evictions += 1
+    def _oldest_unaccessed_victim(self, exempt: set) -> Optional[int]:
+        """Oldest read-ahead block not part of the in-flight fill."""
+        for b in self._unaccessed:
+            if b not in exempt:
+                return b
+        return None
+
+    def _evict_one(self, exempt: set = frozenset()) -> bool:
+        """Evict one block, never touching ``exempt``; False if stuck."""
         tracer = self._tracer
         if self.policy is BlockPolicy.MRU:
             if self._accessed:
+                self.stats.evictions += 1
                 self._accessed.popitem(last=True)
                 if tracer.enabled:
                     tracer.instant(self._track, "cache.evict", blocks=1, unused=0)
-                return
+                return True
             # No consumed block to drop: fall back to the oldest
             # read-ahead block (it has waited longest unconsumed).
-            self._unaccessed.popitem(last=False)
+            victim = self._oldest_unaccessed_victim(exempt)
+            if victim is None:
+                return False
+            self.stats.evictions += 1
+            del self._unaccessed[victim]
             self.stats.useless_evictions += 1
             if tracer.enabled:
                 tracer.instant(self._track, "cache.evict", blocks=1, unused=1)
-            return
+            return True
         # LRU: globally least recent — unaccessed blocks are older than
         # any accessed block touched after their fill; approximate the
         # global order by preferring the oldest unaccessed entry.
-        if self._unaccessed:
-            self._unaccessed.popitem(last=False)
+        victim = self._oldest_unaccessed_victim(exempt)
+        if victim is not None:
+            self.stats.evictions += 1
+            del self._unaccessed[victim]
             self.stats.useless_evictions += 1
             if tracer.enabled:
                 tracer.instant(self._track, "cache.evict", blocks=1, unused=1)
-        else:
+            return True
+        if self._accessed:
+            self.stats.evictions += 1
             self._accessed.popitem(last=False)
             if tracer.enabled:
                 tracer.instant(self._track, "cache.evict", blocks=1, unused=0)
+            return True
+        return False
 
     def invalidate(self, block: int) -> None:
         self._accessed.pop(block, None)

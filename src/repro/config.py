@@ -24,6 +24,7 @@ from enum import Enum
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.faults.profile import FaultProfile, RetryPolicy
 from repro.units import GB, KB, MB, mb_per_s_to_bytes_per_ms, rpm_to_rotation_ms
 
 
@@ -266,6 +267,13 @@ class SimConfig:
     #: Anticipatory scheduling window (paper ref. [15]); 0 disables,
     #: matching the paper's plain LOOK controllers.
     anticipatory_wait_ms: float = 0.0
+    #: Fault-injection profile; ``None`` (the default) falls back to the
+    #: process-wide profile installed via ``--faults`` and otherwise
+    #: leaves the fault machinery entirely detached.
+    faults: Optional[FaultProfile] = None
+    #: Controller retry/backoff/timeout policy (only consulted when a
+    #: fault profile is attached).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 1
 
     def validate(self) -> None:
@@ -273,6 +281,9 @@ class SimConfig:
         self.cache.validate()
         self.array.validate(self.cache.block_size)
         self.bus.validate()
+        if self.faults is not None:
+            self.faults.validate()
+        self.retry.validate()
         if self.anticipatory_wait_ms < 0:
             raise ConfigError("anticipatory wait must be non-negative")
         if self.hdc_bytes < 0:

@@ -28,6 +28,7 @@ class DiskCommand:
         "completed_at",
         "served_from_cache",
         "trace_span",
+        "error",
         "_done",
     )
 
@@ -56,6 +57,10 @@ class DiskCommand:
         self.served_from_cache = False
         #: Tracer span id of the command's lifecycle (0 = untraced).
         self.trace_span = 0
+        #: Failure token (see :mod:`repro.faults.injector`) when the
+        #: command could not be served; ``None`` on success. Completion
+        #: callbacks fire either way — callers check this field.
+        self.error: Optional[str] = None
         self._done = False
 
     @property

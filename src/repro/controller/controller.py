@@ -30,6 +30,7 @@ from repro.controller.commands import DiskCommand
 from repro.controller.stats import ControllerStats
 from repro.disk.drive import DiskDrive
 from repro.errors import SimulationError
+from repro.faults.injector import DISK_FAILED, MEDIA_ERROR, TIMEOUT
 from repro.obs.tracer import NULL_TRACER
 from repro.readahead.base import ReadAheadPolicy
 from repro.scheduling.base import IOScheduler
@@ -56,7 +57,7 @@ def _contiguous_runs(blocks: Sequence[int]) -> List[Tuple[int, int]]:
 class _MediaJob:
     """One queued media operation (host read, write run, or flush run)."""
 
-    __slots__ = ("kind", "cmd", "start", "n_blocks", "on_done")
+    __slots__ = ("kind", "cmd", "start", "n_blocks", "on_done", "attempts")
 
     READ = 0
     WRITE_RUN = 1
@@ -76,6 +77,8 @@ class _MediaJob:
         self.start = start
         self.n_blocks = n_blocks
         self.on_done = on_done
+        #: Retries already consumed by this job (fault mode only).
+        self.attempts = 0
 
 
 class DiskController:
@@ -125,6 +128,135 @@ class DiskController:
         self._wait_event = None
         self.stats = ControllerStats()
         self._geometry = drive.geometry
+        #: Per-disk :class:`~repro.faults.injector.FaultInjector` and
+        #: :class:`~repro.faults.profile.RetryPolicy`; both ``None``
+        #: (the default) keeps every fault check a single ``is None``
+        #: test on the fast path.
+        self.faults = None
+        self.retry = None
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, injector, retry, slow_factor: float = 1.0) -> None:
+        """Enable fault handling: consult ``injector``, retry per ``retry``.
+
+        Called by :meth:`~repro.faults.injector.FaultRuntime.attach`;
+        also forwards the injector (and the profile's slow-response
+        stretch factor) to the drive.
+        """
+        self.faults = injector
+        self.retry = retry
+        self.drive.attach_faults(injector, slow_factor)
+
+    @property
+    def offline(self) -> bool:
+        """Whether this disk is inside a whole-disk failure window."""
+        return self.faults is not None and self.faults.failed
+
+    def fault_transition(self, event: str, disk: int) -> None:
+        """Fault-runtime listener: react to this disk failing/recovering.
+
+        On failure every queued job is failed upward (an in-flight media
+        operation is allowed to finish — its completion handler sees
+        ``offline`` and fails rather than retrying); on recovery the
+        service loop restarts for anything queued meanwhile.
+        """
+        if disk != self.disk_id:
+            return
+        if event == "fail":
+            self._cancel_wait()
+            self._last_read_stream = -1
+            if self.tracer.enabled:
+                self.tracer.instant(self.trace_track, "fault.disk-failed")
+            while self.scheduler:
+                req = self.scheduler.pop(self.drive.head_cylinder)
+                if req is None:  # pragma: no cover - defensive
+                    break
+                self._abort_job(req.payload, DISK_FAILED)
+        elif event == "recover":
+            if self.tracer.enabled:
+                self.tracer.instant(self.trace_track, "fault.disk-recovered")
+            self._kick()
+
+    def _abort_job(self, job: "_MediaJob", error: str) -> None:
+        """Fail a queued/retried job upward without touching the media."""
+        cmd = job.cmd
+        if job.kind == _MediaJob.READ:
+            assert cmd is not None
+            cmd.error = error
+            self.stats.failed_commands += 1
+            self._finish_cmd(cmd)  # no data: completes without the bus
+            return
+        if cmd is not None and cmd.error is None:  # first failed write run
+            cmd.error = error
+            self.stats.failed_commands += 1
+        if job.on_done is not None:
+            job.on_done()
+
+    def _fail_command(self, cmd: DiskCommand, error: str) -> None:
+        """Fail ``cmd`` at submit time (offline disk fail-fast)."""
+        cmd.error = error
+        self.stats.failed_commands += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.trace_track, "fault.reject", error=error
+            )
+        # Asynchronous completion keeps the continuation discipline:
+        # no caller observes completion inside its own submit() frame.
+        self.sim.schedule(0.0, self._finish_cmd, cmd)
+
+    def _retry_media(self, job: "_MediaJob", error: str) -> bool:
+        """Schedule a bounded-backoff retry of ``job``; False if exhausted."""
+        retry = self.retry
+        if retry is None or job.attempts >= retry.max_retries or self.offline:
+            return False
+        job.attempts += 1
+        self.stats.media_retries += 1
+        backoff = retry.backoff_ms(job.attempts)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.trace_track,
+                "fault.retry",
+                error=error,
+                attempt=job.attempts,
+                backoff_ms=backoff,
+            )
+        self.sim.schedule(backoff, self._requeue_job, job)
+        return True
+
+    def _requeue_job(self, job: "_MediaJob") -> None:
+        """Backoff expiry: put the job back in line (unless now offline)."""
+        if self.offline:
+            self._abort_job(job, DISK_FAILED)
+            return
+        self.scheduler.push(
+            self._geometry.cylinder_of(job.start), job, self.sim.now
+        )
+        self._kick()
+
+    def _media_error(
+        self, job: "_MediaJob", duration: float, error: Optional[str]
+    ) -> Optional[str]:
+        """Classify a media completion; returns the effective error.
+
+        Counts transient errors, converts an over-deadline completion
+        into a timeout when the retry policy sets one, and returns
+        ``None`` for a clean completion.
+        """
+        retry = self.retry
+        if (
+            error is None
+            and retry is not None
+            and retry.command_timeout_ms > 0
+            and duration > retry.command_timeout_ms
+        ):
+            error = TIMEOUT
+            self.stats.command_timeouts += 1
+        elif error == MEDIA_ERROR:
+            self.stats.media_errors += 1
+        return error
 
     # ------------------------------------------------------------------
     # host command entry point
@@ -153,9 +285,14 @@ class DiskController:
             )
         if cmd.is_write:
             self.stats.write_commands += 1
-            self._handle_write(cmd)
         else:
             self.stats.read_commands += 1
+        if self.offline:
+            self._fail_command(cmd, DISK_FAILED)
+            return
+        if cmd.is_write:
+            self._handle_write(cmd)
+        else:
             self._handle_read(cmd)
 
     # ------------------------------------------------------------------
@@ -485,7 +622,13 @@ class DiskController:
                 extra=read_size - span_len,
             )
 
-        def _done() -> None:
+        def _done(error: Optional[str] = None) -> None:
+            error = self._media_error(job, duration, error)
+            if error is not None:
+                if not self._retry_media(job, error):
+                    self._abort_job(job, DISK_FAILED if self.offline else error)
+                self._kick()  # media is free during the backoff
+                return
             fill = [
                 b
                 for b in range(span_start, span_start + read_size)
@@ -500,7 +643,7 @@ class DiskController:
             self._deliver_read(cmd)
             self._kick()
 
-        self.drive.execute(span_start, read_size, False, _done)
+        duration = self.drive.execute(span_start, read_size, False, _done)
         return True
 
     def _dispatch_rest(self, job: _MediaJob) -> None:
@@ -513,12 +656,48 @@ class DiskController:
             self.stats.media_reads += 1
             self.stats.media_blocks_read += job.n_blocks
 
-        def _done() -> None:
+        def _done(error: Optional[str] = None) -> None:
+            error = self._media_error(job, duration, error)
+            if error is not None:
+                if not self._retry_media(job, error):
+                    self._abort_job(job, DISK_FAILED if self.offline else error)
+                self._kick()
+                return
             if job.on_done is not None:
                 job.on_done()
             self._kick()
 
-        self.drive.execute(job.start, job.n_blocks, is_write, _done)
+        duration = self.drive.execute(job.start, job.n_blocks, is_write, _done)
+
+    # ------------------------------------------------------------------
+    # internal media operations (rebuild streams)
+    # ------------------------------------------------------------------
+
+    def internal_read(
+        self,
+        start: int,
+        n_blocks: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue a controller-internal media read (no host command).
+
+        Used by RAID rebuild streams to pull source data; competes with
+        host traffic through the normal scheduler.
+        """
+        job = _MediaJob(_MediaJob.INTERNAL_READ, None, start, n_blocks, on_done)
+        self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
+        self._kick()
+
+    def internal_write(
+        self,
+        start: int,
+        n_blocks: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue a controller-internal media write (no host command)."""
+        job = _MediaJob(_MediaJob.INTERNAL_WRITE, None, start, n_blocks, on_done)
+        self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
+        self._kick()
 
     # ------------------------------------------------------------------
 

@@ -32,6 +32,17 @@ class ControllerStats:
     #: Times the media was deliberately held idle for the last reader
     #: (anticipatory scheduling; 0 unless enabled).
     anticipation_waits: int = 0
+    #: Fault handling (all 0 unless fault injection is attached):
+    #: transient media errors observed on completed media reads.
+    media_errors: int = 0
+    #: Retry attempts issued after an error/timeout (bounded by the
+    #: :class:`~repro.faults.profile.RetryPolicy`, capped backoff).
+    media_retries: int = 0
+    #: Media reads whose service time exceeded the per-command timeout.
+    command_timeouts: int = 0
+    #: Commands failed upward (retries exhausted or disk offline); a
+    #: RAID layer may still have served them degraded.
+    failed_commands: int = 0
     #: Media busy time split by phase (ms), synced from the drive by
     #: :meth:`DiskController.sync_drive_times` — the time-in-state
     #: breakdown (seek + rotation + transfer + overhead = busy).

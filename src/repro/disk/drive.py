@@ -16,7 +16,7 @@ the ``diskN/state`` sub-track.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.mechanics.service import ServiceTimeModel
@@ -43,6 +43,11 @@ class DiskDrive:
         self.tracer = tracer
         self._track = f"disk{disk_id}"
         self._state_track = f"disk{disk_id}/state"
+        #: Per-disk :class:`~repro.faults.injector.FaultInjector`, or
+        #: ``None`` (the default) for the fault-free fast path. Set by
+        #: :meth:`~repro.controller.controller.DiskController.attach_faults`.
+        self.faults = None
+        self._slow_factor = 1.0
         # accounting
         self.busy_time: float = 0.0
         self.operations: int = 0
@@ -51,23 +56,37 @@ class DiskDrive:
         self.rotation_time_total: float = 0.0
         self.transfer_time_total: float = 0.0
         self.overhead_time_total: float = 0.0
+        #: Extra busy time injected by slow-response faults (ms); the
+        #: phase totals above cover only the mechanical service split.
+        self.fault_delay_ms: float = 0.0
 
     @property
     def head_cylinder(self) -> int:
         """Cylinder under the head (LOOK and seek distances use this)."""
         return self.geometry.cylinder_of(self.head_block)
 
+    def attach_faults(self, injector, slow_factor: float) -> None:
+        """Consult ``injector`` on every media operation (fault mode)."""
+        self.faults = injector
+        self._slow_factor = slow_factor
+
     def execute(
         self,
         start_block: int,
         n_blocks: int,
         is_write: bool,
-        on_done: Callable[[], None],
+        on_done: Callable[..., None],
     ) -> float:
         """Run one media operation; ``on_done`` fires at completion.
 
         Returns the operation's duration (useful for tests). The drive
         must be idle — the controller's kick loop guarantees this.
+
+        With a fault injector attached, the operation may be stretched
+        (slow response) or complete with a transient error, in which
+        case ``on_done`` receives the error token as a positional
+        argument; fault-free completions call ``on_done()`` with no
+        arguments, so zero-arg continuations keep working unchanged.
         """
         if self.busy:
             raise SimulationError(f"disk {self.disk_id} media already busy")
@@ -87,6 +106,14 @@ class DiskDrive:
         self.seek_time_total += phases.seek_ms
         self.rotation_time_total += phases.rotation_ms
         self.transfer_time_total += phases.transfer_ms
+        error: Optional[str] = None
+        if self.faults is not None:
+            extra_ms, error = self.faults.media_outcome(
+                duration, self._slow_factor
+            )
+            if extra_ms > 0.0:
+                duration += extra_ms
+                self.fault_delay_ms += extra_ms
         self.busy = True
 
         tracer = self.tracer
@@ -116,7 +143,10 @@ class DiskDrive:
             self.busy_time += duration
             self.operations += 1
             self.blocks_transferred += n_blocks
-            on_done()
+            if error is not None:
+                on_done(error)
+            else:
+                on_done()
 
         self.sim.schedule(duration, _finish)
         return duration

@@ -12,6 +12,16 @@ inputs and code are unchanged are served from disk). The merged output
 is byte-identical to the serial run; per-cell wall times and cache
 hit/miss counters go to stderr.
 
+Fault injection: ``--faults <profile>`` installs a named
+:mod:`repro.faults` profile (``none``, ``light``, ``flaky``,
+``heavy``) for the run — every :class:`~repro.host.system.System` the
+experiment builds picks it up and injects the profile's deterministic,
+seed-keyed fault schedule. The profile name joins the result-cache key
+for parallel runs, so faulted and fault-free results never collide;
+``--faults none`` (and omitting the flag) keeps the machinery entirely
+detached and the output byte-identical to a build without the
+subsystem.
+
 Tracing: ``--trace`` records the run's request lifecycle with
 :class:`repro.obs.tracer.Tracer` and exports it on exit —
 Chrome-trace JSON by default (load in Perfetto / ``chrome://tracing``),
@@ -40,11 +50,14 @@ def usage() -> str:
     return (
         "usage: repro-exp <experiment> [--scale X] [--chart]\n"
         "                 [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+        "                 [--faults PROFILE]\n"
         "                 [--trace] [--trace-out PATH] [--trace-limit N]\n"
         f"experiments: {names} all\n"
+        "fault profiles: none light flaky heavy\n"
         "example: repro-exp fig03 --scale 0.2 --chart\n"
         "example: repro-exp fig07 --jobs 4          # parallel + cached\n"
         "example: repro-exp fig07 --jobs 4 --no-cache\n"
+        "example: repro-exp availability --faults heavy --scale 0.2\n"
         "example: repro-exp fig07 --scale 0.05 --trace   # fig07.trace.json"
     )
 
@@ -61,6 +74,7 @@ def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
         "trace": "--trace" in args,
         "trace_out": None,
         "trace_limit": None,
+        "faults": None,
     }
 
     def value_of(flag: str) -> Optional[str]:
@@ -82,14 +96,15 @@ def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
     limit = value_of("--trace-limit")
     if limit is not None:
         opts["trace_limit"] = int(limit)
+    opts["faults"] = value_of("--faults")
     # Pointing at an output file or capping events implies tracing.
     if opts["trace_out"] is not None or opts["trace_limit"] is not None:
         opts["trace"] = True
     return opts
 
 
-def _strip_trace_flags(rest: Sequence[str]) -> list:
-    """Remove the ``--trace*`` options before an experiment sees argv."""
+def _strip_cli_flags(rest: Sequence[str]) -> list:
+    """Remove CLI-level options before an experiment's main sees argv."""
     out = []
     skip = False
     for arg in rest:
@@ -98,7 +113,7 @@ def _strip_trace_flags(rest: Sequence[str]) -> list:
             continue
         if arg == "--trace":
             continue
-        if arg in ("--trace-out", "--trace-limit"):
+        if arg in ("--trace-out", "--trace-limit", "--faults"):
             skip = True
             continue
         out.append(arg)
@@ -136,6 +151,7 @@ def _run_parallel(name: str, opts: Dict[str, object]) -> None:
         scale=opts["scale"],
         jobs=opts["jobs"] or 1,
         cache_dir=cache_dir,
+        faults=opts["faults"],
     )
     print(result.to_text())
     if opts["chart"]:
@@ -155,11 +171,21 @@ def _run_with_chart(name: str, opts: Dict[str, object]) -> None:
 
 def _dispatch(name: str, rest: Sequence[str], opts: Dict[str, object]) -> None:
     if _wants_parallel(opts):
+        # Workers resolve and install the profile by name themselves.
         _run_parallel(name, opts)
-    elif opts["chart"]:
-        _run_with_chart(name, opts)
-    else:
-        EXPERIMENTS[name](list(rest))
+        return
+    from contextlib import nullcontext
+
+    ctx = nullcontext()
+    if opts["faults"] is not None:
+        from repro.faults.profile import fault_profile, get_profile
+
+        ctx = fault_profile(get_profile(opts["faults"]))
+    with ctx:
+        if opts["chart"]:
+            _run_with_chart(name, opts)
+        else:
+            EXPERIMENTS[name](_strip_cli_flags(rest))
 
 
 def _export_trace(tracer, name: str, opts: Dict[str, object]) -> None:
@@ -199,7 +225,7 @@ def _dispatch_traced(name: str, rest: Sequence[str], opts: Dict[str, object]) ->
     tracer = Tracer(limit=opts["trace_limit"])
     serial_opts = dict(opts, jobs=None, cache_dir=None, no_cache=False)
     with tracing(tracer):
-        _dispatch(name, _strip_trace_flags(rest), serial_opts)
+        _dispatch(name, _strip_cli_flags(rest), serial_opts)
     _export_trace(tracer, name, opts)
 
 
@@ -215,6 +241,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if opts["jobs"] is not None and opts["jobs"] < 1:
         print(f"--jobs must be >= 1, got {opts['jobs']}", file=sys.stderr)
         return 2
+    if opts["faults"] is not None:
+        from repro.errors import ConfigError
+        from repro.faults.profile import get_profile
+
+        try:
+            get_profile(opts["faults"])
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     dispatch = _dispatch_traced if opts["trace"] else _dispatch
     if name == "all":
         for exp_name in sorted(EXPERIMENTS):

@@ -55,6 +55,10 @@ class Cell:
     value: object = None
     scale: Optional[float] = None
     seed: Optional[int] = None
+    #: Fault-profile *name* (``--faults``); a name rather than the
+    #: profile object so cells stay cheap to pickle and the installed
+    #: profile is resolved identically in every worker process.
+    faults: Optional[str] = None
 
     def run_kwargs(self) -> Dict[str, object]:
         """Keyword arguments for the driver's ``run()``."""
@@ -82,7 +86,7 @@ class Cell:
         pins the implementation. Together these content-address the
         cell's result.
         """
-        return {
+        payload: Dict[str, object] = {
             "exp": self.exp,
             "axis": self.axis,
             "value": self.value,
@@ -90,6 +94,12 @@ class Cell:
             "seed": self.seed,
             "code": code_fingerprint(self.exp),
         }
+        # Only fault-injected cells carry the profile key, so every
+        # pre-fault cache entry remains valid (and faults=None hashes
+        # identically to a cache written before the key existed).
+        if self.faults is not None:
+            payload["faults"] = self.faults
+        return payload
 
 
 def expand_cells(
@@ -97,18 +107,28 @@ def expand_cells(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     values: Optional[Sequence[object]] = None,
+    faults: Optional[str] = None,
 ) -> List[Cell]:
     """Expand one registry entry into its independent cells.
 
     ``values`` overrides the axis points (handy for smoke sweeps and
     tests); experiments whose :class:`SweepSpec` declares no axis
-    expand to a single whole-run cell.
+    expand to a single whole-run cell. ``faults`` names the profile to
+    install in every cell's process before running; ``"none"`` is
+    normalised to ``None`` so an explicit no-faults run shares cache
+    entries with runs that never passed the flag.
     """
     if name not in RUNNERS:
         raise ConfigError(f"unknown experiment {name!r}")
+    if faults is not None:
+        from repro.faults.profile import get_profile
+
+        get_profile(faults)  # fail fast on unknown names
+        if faults == "none":
+            faults = None
     spec = SWEEPS.get(name)
     if spec is None or spec.axis is None:
-        return [Cell(exp=name, index=0, scale=scale, seed=seed)]
+        return [Cell(exp=name, index=0, scale=scale, seed=seed, faults=faults)]
     points = list(values if values is not None else spec.values)
     return [
         Cell(
@@ -118,6 +138,7 @@ def expand_cells(
             value=value,
             scale=scale,
             seed=seed,
+            faults=faults,
         )
         for i, value in enumerate(points)
     ]
@@ -137,7 +158,16 @@ def run_cell(cell: Cell) -> Tuple[int, float, dict]:
     crosses the process boundary as a plain dict.
     """
     start = time.perf_counter()
-    result = RUNNERS[cell.exp](**cell.run_kwargs())
+    if cell.faults is not None:
+        from repro.faults.profile import fault_profile, get_profile
+
+        # Resolve by name inside the executing process, so the same
+        # profile is installed whether the cell runs inline, in a
+        # forked worker, or in a spawned one.
+        with fault_profile(get_profile(cell.faults)):
+            result = RUNNERS[cell.exp](**cell.run_kwargs())
+    else:
+        result = RUNNERS[cell.exp](**cell.run_kwargs())
     return cell.index, time.perf_counter() - start, result.to_dict()
 
 
@@ -156,6 +186,9 @@ class ParallelSweep:
         Optional :class:`ResultCache`; hits skip the cell entirely.
     values:
         Optional x-axis override (smoke sweeps, tests).
+    faults:
+        Optional fault-profile name (``--faults``) installed in every
+        cell's executing process; joins the cache key.
     """
 
     def __init__(
@@ -166,6 +199,7 @@ class ParallelSweep:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         values: Optional[Sequence[object]] = None,
+        faults: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -175,12 +209,15 @@ class ParallelSweep:
         self.jobs = jobs
         self.cache = cache
         self.values = values
+        self.faults = faults
         self.metrics = SweepMetrics(exp_id=name, jobs=jobs)
 
     def run(self) -> SeriesResult:
         """Run the sweep; returns the merged (serial-identical) result."""
         start = time.perf_counter()
-        cells = expand_cells(self.name, self.scale, self.seed, self.values)
+        cells = expand_cells(
+            self.name, self.scale, self.seed, self.values, self.faults
+        )
         slices: List[Optional[dict]] = [None] * len(cells)
         keys: Dict[int, str] = {}
         pending: List[Cell] = []
@@ -245,11 +282,18 @@ def sweep_experiment(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     values: Optional[Sequence[object]] = None,
+    faults: Optional[str] = None,
 ) -> Tuple[SeriesResult, SweepMetrics]:
     """Convenience wrapper: run one sweep, return (result, metrics)."""
     cache = ResultCache(cache_dir) if cache_dir else None
     sweep = ParallelSweep(
-        name, scale=scale, seed=seed, jobs=jobs, cache=cache, values=values
+        name,
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        values=values,
+        faults=faults,
     )
     result = sweep.run()
     return result, sweep.metrics

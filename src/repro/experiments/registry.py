@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments import servers
 from repro.experiments import (
+    availability,
     ext_frag,
     fig01,
     fig02,
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table2": table2.main,
     "validation": validation.main,
     "ext_frag": ext_frag.main,
+    "availability": availability.main,
 }
 
 #: run(scale=..., seed=...) entry points (programmatic access).
@@ -72,6 +74,7 @@ RUNNERS: Dict[str, Callable] = {
     "table2": table2.run,
     "validation": validation.run,
     "ext_frag": ext_frag.run,
+    "availability": availability.run,
 }
 
 
@@ -108,4 +111,5 @@ SWEEPS: Dict[str, SweepSpec] = {
     "table2": SweepSpec("servers", tuple(table2.SERVERS)),
     "validation": SweepSpec(None),
     "ext_frag": SweepSpec("frag_points", tuple(ext_frag.FRAG_POINTS)),
+    "availability": SweepSpec("mtbf_s", tuple(availability.MTBF_S)),
 }

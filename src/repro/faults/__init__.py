@@ -1,0 +1,49 @@
+"""Deterministic, seed-keyed fault injection for the simulated array.
+
+The subsystem splits into three layers:
+
+* :mod:`repro.faults.profile` — *what* can go wrong: a frozen
+  :class:`FaultProfile` of rates (transient media read errors, slow
+  responses, whole-disk failures) plus the controller's
+  :class:`RetryPolicy`, and a registry of named profiles for the CLI's
+  ``--faults`` flag;
+* :mod:`repro.faults.plan` — *when* it goes wrong: a
+  :class:`FaultPlan` expanded from ``(profile, n_disks, seed)`` alone,
+  so the same seed always yields the same fault schedule regardless of
+  timing, process count or run order (the parallel runner's
+  byte-identical-merge and result-cache guarantees carry over);
+* :mod:`repro.faults.injector` — the runtime: per-disk
+  :class:`FaultInjector` state consulted by the drive and controller,
+  and the :class:`FaultRuntime` that arms failure/recovery timers and
+  keeps the array-wide fault ledger surfaced as a
+  :class:`FaultSummary` on :class:`~repro.metrics.collector.RunResult`.
+"""
+
+from repro.faults.profile import (
+    PROFILES,
+    FaultProfile,
+    RetryPolicy,
+    active_fault_profile,
+    fault_profile,
+    get_profile,
+    install_fault_profile,
+    uninstall_fault_profile,
+)
+from repro.faults.plan import DiskFaultPlan, FaultPlan
+from repro.faults.injector import FaultInjector, FaultRuntime, FaultSummary
+
+__all__ = [
+    "DiskFaultPlan",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProfile",
+    "FaultRuntime",
+    "FaultSummary",
+    "PROFILES",
+    "RetryPolicy",
+    "active_fault_profile",
+    "fault_profile",
+    "get_profile",
+    "install_fault_profile",
+    "uninstall_fault_profile",
+]

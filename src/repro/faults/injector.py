@@ -1,0 +1,222 @@
+"""Runtime fault state: per-disk injectors and the array-wide ledger.
+
+The :class:`FaultInjector` is the hot-path object: the drive consults
+it once per media operation (``media_outcome``), the controller checks
+``failed`` before queueing or dispatching. Both are plain attribute
+reads when faults are disabled — the injector simply is not attached,
+so the fault-free path costs one ``is None`` test (the same
+zero-overhead contract as the obs tracer).
+
+The :class:`FaultRuntime` owns the injectors, arms the plan's
+failure/recovery windows on the simulator clock, fans fail/recover
+notifications out to listeners (the RAID layers use recovery events to
+start background rebuild streams), and accumulates the cross-layer
+counters that become the run's :class:`FaultSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.faults.plan import DiskFaultPlan, FaultPlan
+from repro.faults.profile import FaultProfile, RetryPolicy
+
+#: Error tokens carried by ``DiskCommand.error`` / drive completions.
+MEDIA_ERROR = "media_error"
+TIMEOUT = "timeout"
+DISK_FAILED = "disk_failed"
+UNRECOVERABLE = "unrecoverable"
+
+
+class FaultInjector:
+    """Mutable fault state of one disk, driven by its static plan."""
+
+    __slots__ = (
+        "disk_id",
+        "plan",
+        "failed",
+        "op_index",
+        "transient_injected",
+        "slow_injected",
+    )
+
+    def __init__(self, disk_id: int, plan: DiskFaultPlan):
+        self.disk_id = disk_id
+        self.plan = plan
+        #: Maintained by :class:`FaultRuntime` window timers (cheaper
+        #: than scanning windows on every queue/dispatch check).
+        self.failed = False
+        self.op_index = 0
+        self.transient_injected = 0
+        self.slow_injected = 0
+
+    def media_outcome(
+        self, duration_ms: float, slow_factor: float
+    ) -> Tuple[float, Optional[str]]:
+        """Consume one media-operation ordinal; returns (extra_ms, error).
+
+        A transient error charges the full mechanical service time (the
+        head moved; the data came back bad) with no extension; a slow
+        response stretches the operation to ``slow_factor`` times its
+        service time and completes successfully (the controller decides
+        whether that exceeded its command timeout).
+        """
+        index = self.op_index
+        self.op_index = index + 1
+        if index in self.plan.transient_ops:
+            self.transient_injected += 1
+            return 0.0, MEDIA_ERROR
+        if index in self.plan.slow_ops:
+            self.slow_injected += 1
+            return duration_ms * (slow_factor - 1.0), None
+        return 0.0, None
+
+
+@dataclass
+class FaultSummary:
+    """Array-wide fault accounting for one finished run."""
+
+    profile: str
+    #: Transient media errors / slow responses the plan injected.
+    transient_errors: int = 0
+    slow_ops: int = 0
+    #: Controller-side reactions (summed over controllers).
+    media_retries: int = 0
+    command_timeouts: int = 0
+    failed_commands: int = 0
+    #: RAID-layer reactions.
+    degraded_reads: int = 0
+    unrecovered_reads: int = 0
+    rebuild_blocks_copied: int = 0
+    #: Whole-disk failure process.
+    disk_failures: int = 0
+    failed_disk_ms: float = 0.0
+    #: Fraction of disk-time all spindles were healthy (1.0 = no loss).
+    availability: float = 1.0
+
+    def to_dict(self) -> dict:
+        """Plain-data form for reports and JSON export."""
+        return dict(vars(self))
+
+
+class FaultRuntime:
+    """Armed fault state of one simulated system."""
+
+    def __init__(self, sim, plan: FaultPlan, retry: RetryPolicy):
+        self.sim = sim
+        self.plan = plan
+        self.retry = retry
+        self.injectors: List[FaultInjector] = [
+            FaultInjector(d, disk_plan) for d, disk_plan in enumerate(plan.disks)
+        ]
+        self.disk_failures = 0
+        self.degraded_reads = 0
+        self.unrecovered_reads = 0
+        self.rebuild_blocks_copied = 0
+        self._listeners: List[Callable[[str, int], None]] = []
+        self._armed = False
+
+    @property
+    def profile(self) -> FaultProfile:
+        """The profile the plan was expanded from."""
+        return self.plan.profile
+
+    # -- wiring --------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every failure/recovery transition on the clock."""
+        if self._armed:
+            return
+        self._armed = True
+        for disk, disk_plan in enumerate(self.plan.disks):
+            for start, end in disk_plan.failure_windows:
+                self.sim.schedule_at(start, self._fail_disk, disk)
+                self.sim.schedule_at(end, self._recover_disk, disk)
+
+    def add_listener(self, listener: Callable[[str, int], None]) -> None:
+        """Register ``listener(event, disk_id)`` for ``"fail"``/``"recover"``."""
+        self._listeners.append(listener)
+
+    def _fail_disk(self, disk: int) -> None:
+        self.injectors[disk].failed = True
+        self.disk_failures += 1
+        for listener in self._listeners:
+            listener("fail", disk)
+
+    def _recover_disk(self, disk: int) -> None:
+        self.injectors[disk].failed = False
+        for listener in self._listeners:
+            listener("recover", disk)
+
+    # -- ledger --------------------------------------------------------
+
+    def note_degraded_read(self) -> None:
+        """A read served from redundancy instead of its home disk."""
+        self.degraded_reads += 1
+
+    def note_unrecovered_read(self) -> None:
+        """A read no surviving replica/reconstruction could serve."""
+        self.unrecovered_reads += 1
+
+    def note_rebuild_blocks(self, n_blocks: int) -> None:
+        """Blocks copied onto a recovered disk by a rebuild stream."""
+        self.rebuild_blocks_copied += n_blocks
+
+    def summary(self, elapsed_ms: float, controller_stats) -> FaultSummary:
+        """Assemble the run's :class:`FaultSummary`.
+
+        ``controller_stats`` is the array-merged
+        :class:`~repro.controller.stats.ControllerStats` carrying the
+        retry/timeout/failure counters.
+        """
+        failed_ms = sum(
+            d.failed_ms_until(elapsed_ms) for d in self.plan.disks
+        )
+        disk_time = elapsed_ms * max(1, self.plan.n_disks)
+        return FaultSummary(
+            profile=self.profile.name,
+            transient_errors=sum(i.transient_injected for i in self.injectors),
+            slow_ops=sum(i.slow_injected for i in self.injectors),
+            media_retries=controller_stats.media_retries,
+            command_timeouts=controller_stats.command_timeouts,
+            failed_commands=controller_stats.failed_commands,
+            degraded_reads=self.degraded_reads,
+            unrecovered_reads=self.unrecovered_reads,
+            rebuild_blocks_copied=self.rebuild_blocks_copied,
+            disk_failures=self.disk_failures,
+            failed_disk_ms=failed_ms,
+            availability=1.0 - (failed_ms / disk_time if disk_time > 0 else 0.0),
+        )
+
+    # -- attachment ----------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        system,
+        plan: FaultPlan,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "FaultRuntime":
+        """Wire a runtime into an already-built ``system``.
+
+        Sets each controller's (and drive's) injector and retry policy,
+        arms the failure windows, and records the runtime as
+        ``system.faults``. :class:`~repro.host.system.System` calls this
+        during construction when a profile is configured; tests call it
+        directly with hand-built plans.
+        """
+        if plan.n_disks != len(system.controllers):
+            raise ValueError(
+                f"plan covers {plan.n_disks} disks, "
+                f"system has {len(system.controllers)}"
+            )
+        runtime = cls(system.sim, plan, retry if retry is not None else RetryPolicy())
+        runtime.retry.validate()
+        slow_factor = plan.profile.slow_factor
+        for controller, injector in zip(system.controllers, runtime.injectors):
+            controller.attach_faults(injector, runtime.retry, slow_factor)
+            runtime.add_listener(controller.fault_transition)
+        runtime.arm()
+        system.faults = runtime
+        return runtime

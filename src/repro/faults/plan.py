@@ -1,0 +1,153 @@
+"""Seed-keyed expansion of a fault profile into a concrete schedule.
+
+A :class:`FaultPlan` is a pure function of ``(profile, n_disks, seed)``:
+
+* whole-disk **failure windows** are absolute simulated-time intervals
+  drawn from the profile's exponential failure process, expanded up to
+  ``profile.horizon_ms``;
+* **transient errors** and **slow responses** are keyed to media
+  *operation ordinals* (the Nth media operation a disk performs), drawn
+  as geometric inter-arrival gaps up to ``profile.horizon_ops``.
+
+Keying per-operation faults to ordinals rather than wall-clock times is
+what makes the plan independent of timing: the simulator's operation
+order is itself deterministic, so the same seed produces the same
+injected faults whether a sweep runs serially or across a process pool
+— the property the result cache and byte-identical merge rely on.
+
+Randomness comes from dedicated named streams
+(``faults.<profile>.disk<N>.*`` under the run seed), so enabling faults
+never perturbs workload generation, rotational latency or coalescing
+draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.faults.profile import FaultProfile
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """One disk's schedule: failure windows plus faulted op ordinals."""
+
+    #: Absolute ``[start_ms, end_ms)`` whole-disk failure intervals,
+    #: sorted and non-overlapping.
+    failure_windows: Tuple[Tuple[float, float], ...] = ()
+    #: Media-operation ordinals that fail with a transient read error.
+    transient_ops: FrozenSet[int] = frozenset()
+    #: Media-operation ordinals that respond slowly.
+    slow_ops: FrozenSet[int] = frozenset()
+
+    def failed_at(self, time_ms: float) -> bool:
+        """Whether the disk is inside a failure window at ``time_ms``."""
+        for start, end in self.failure_windows:
+            if start <= time_ms < end:
+                return True
+            if start > time_ms:
+                break
+        return False
+
+    def failed_ms_until(self, elapsed_ms: float) -> float:
+        """Total failed time within ``[0, elapsed_ms)``."""
+        total = 0.0
+        for start, end in self.failure_windows:
+            if start >= elapsed_ms:
+                break
+            total += min(end, elapsed_ms) - start
+        return total
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The whole array's fault schedule, one entry per disk."""
+
+    profile: FaultProfile
+    seed: int
+    disks: Tuple[DiskFaultPlan, ...]
+
+    @classmethod
+    def generate(
+        cls, profile: FaultProfile, n_disks: int, seed: int
+    ) -> "FaultPlan":
+        """Expand ``profile`` for an ``n_disks`` array under ``seed``."""
+        profile.validate()
+        streams = RandomStreams(seed)
+        disks: List[DiskFaultPlan] = []
+        for disk in range(n_disks):
+            prefix = f"faults.{profile.name}.disk{disk}"
+            windows: List[Tuple[float, float]] = []
+            if profile.mtbf_ms > 0:
+                rng = streams.stream(f"{prefix}.failures")
+                t = float(rng.exponential(profile.mtbf_ms))
+                while t < profile.horizon_ms:
+                    end = t + profile.repair_ms
+                    windows.append((t, end))
+                    t = end + float(rng.exponential(profile.mtbf_ms))
+            transient = _ordinals(
+                streams.stream(f"{prefix}.transient"),
+                profile.transient_error_rate,
+                profile.horizon_ops,
+            )
+            slow = _ordinals(
+                streams.stream(f"{prefix}.slow"),
+                profile.slow_op_rate,
+                profile.horizon_ops,
+            )
+            disks.append(
+                DiskFaultPlan(
+                    failure_windows=tuple(windows),
+                    transient_ops=transient,
+                    slow_ops=slow,
+                )
+            )
+        return cls(profile=profile, seed=seed, disks=tuple(disks))
+
+    @property
+    def n_disks(self) -> int:
+        """Number of per-disk schedules."""
+        return len(self.disks)
+
+    @property
+    def total_failure_windows(self) -> int:
+        """Whole-disk failures scheduled across the array."""
+        return sum(len(d.failure_windows) for d in self.disks)
+
+    def fingerprint(self) -> str:
+        """Stable content hash — equal plans, equal fingerprints.
+
+        Used by determinism tests and available for cache keys; the
+        canonical form sorts the ordinal sets so set iteration order
+        can never leak in.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((self.profile, self.seed)).encode())
+        for disk in self.disks:
+            digest.update(repr(disk.failure_windows).encode())
+            digest.update(repr(sorted(disk.transient_ops)).encode())
+            digest.update(repr(sorted(disk.slow_ops)).encode())
+        return digest.hexdigest()
+
+
+def _ordinals(rng, rate: float, horizon_ops: int) -> FrozenSet[int]:
+    """Draw the faulted operation ordinals for one (disk, fault kind).
+
+    Geometric inter-arrival gaps with success probability ``rate``
+    yield ordinals whose marginal fault probability per operation is
+    ``rate`` — without drawing one uniform per operation, which would
+    make plan size proportional to the horizon even at rate 0.
+    """
+    if rate <= 0.0:
+        return frozenset()
+    ordinals = []
+    index = -1
+    while True:
+        index += int(rng.geometric(rate))
+        if index >= horizon_ops:
+            break
+        ordinals.append(index)
+    return frozenset(ordinals)

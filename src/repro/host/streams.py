@@ -53,10 +53,18 @@ class ReplayDriver:
         coalesce_prob: Optional[float] = None,
         on_record_complete: Optional[Callable[[DiskAccess], None]] = None,
         keep_raw_latencies: bool = True,
+        array=None,
+        striping=None,
     ):
+        """``array``/``striping`` override the system's plain array with
+        a RAID wrapper (e.g. :class:`~repro.array.raid.MirroredArray`) —
+        the wrapper's ``submit_command`` and its logical-capacity
+        striping view replace the defaults for decomposition/issue."""
         if len(trace) == 0:
             raise WorkloadError("cannot replay an empty trace")
         self.system = system
+        self.array = array if array is not None else system.array
+        self.striping = striping if striping is not None else system.striping
         self.trace = trace
         self.n_streams = n_streams if n_streams is not None else trace.meta.n_streams
         if self.n_streams < 1:
@@ -69,6 +77,8 @@ class ReplayDriver:
         self._next_index = 0
         self.records_completed = 0
         self.commands_issued = 0
+        #: Commands that completed with ``error`` set (fault mode only).
+        self.commands_failed = 0
         self.reads_merged = 0
         self.finish_time: float = 0.0
         #: Keep the raw per-record latency list (unbounded memory on
@@ -159,12 +169,14 @@ class ReplayDriver:
         for cmd in commands:
             per_disk.setdefault(cmd.disk_id, []).append(cmd)
         self.commands_issued += len(commands)
-        submit = self.system.array.submit_command
+        submit = self.array.submit_command
 
         def _make_chain(queue: List[DiskCommand]):
             def _next_in_chain(_cmd: DiskCommand) -> None:
                 nonlocal remaining
                 remaining -= 1
+                if _cmd.error is not None:
+                    self.commands_failed += 1
                 if queue:
                     submit(queue.pop(0))
                 if remaining == 0:
@@ -194,7 +206,7 @@ class ReplayDriver:
         self._start_next(stream_id)
 
     def _decompose(self, record: DiskAccess, stream_id: int) -> List[DiskCommand]:
-        striping = self.system.striping
+        striping = self.striping
         commands: List[DiskCommand] = []
         for lstart, llen in record.runs:
             for run in striping.map_run(lstart, llen):

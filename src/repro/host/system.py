@@ -22,6 +22,9 @@ from repro.config import CacheOrganization, ReadAheadKind, SimConfig
 from repro.controller.controller import DiskController
 from repro.disk.drive import DiskDrive
 from repro.errors import ConfigError
+from repro.faults.injector import FaultRuntime
+from repro.faults.plan import FaultPlan
+from repro.faults.profile import active_fault_profile
 from repro.mechanics.service import ServiceTimeModel
 from repro.obs.tracer import active_tracer
 from repro.readahead.base import ReadAheadPolicy
@@ -99,6 +102,15 @@ class System:
             )
             controllers.append(controller)
         self.array = DiskArray(self.sim, self.striping, controllers, self.bus)
+        #: :class:`~repro.faults.injector.FaultRuntime` when fault
+        #: injection is enabled, else ``None`` (zero-overhead path).
+        self.faults = None
+        profile = (
+            config.faults if config.faults is not None else active_fault_profile()
+        )
+        if profile is not None and profile.any_faults:
+            plan = FaultPlan.generate(profile, config.array.n_disks, config.seed)
+            FaultRuntime.attach(self, plan, config.retry)
 
     # -- component factories -----------------------------------------------
 

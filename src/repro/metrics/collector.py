@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.base import CacheStats
 from repro.controller.stats import ControllerStats
+from repro.faults.injector import FaultSummary
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
 from repro.obs.metrics import Histogram
@@ -37,6 +38,8 @@ class RunResult:
     #: Per-disk media time split (overhead/seek/rotation/transfer/
     #: busy/idle, ms), indexed by disk id.
     time_in_state: List[Dict[str, float]] = field(default_factory=list)
+    #: Fault-injection accounting; ``None`` when faults were disabled.
+    faults: Optional[FaultSummary] = None
 
     @property
     def io_time_s(self) -> float:
@@ -129,4 +132,9 @@ def collect_run_result(system: System, driver: ReplayDriver, elapsed_ms: float) 
         time_in_state=[
             drive_time_in_state(c.drive, elapsed_ms) for c in array.controllers
         ],
+        faults=(
+            system.faults.summary(elapsed_ms, ctrl)
+            if getattr(system, "faults", None) is not None
+            else None
+        ),
     )

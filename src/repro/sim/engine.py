@@ -66,6 +66,12 @@ class Simulator:
             while True:
                 next_time = queue.peek_time()
                 if next_time is None:
+                    # Queue drained before the horizon: idle until
+                    # ``until`` so the clock honours the docstring even
+                    # when no event lands exactly there (common with
+                    # fault timers leaving empty-queue idle periods).
+                    if until is not None and until > self.now:
+                        self.now = until
                     break
                 if until is not None and next_time > until:
                     self.now = until
@@ -80,13 +86,23 @@ class Simulator:
         return self.now
 
     def step(self) -> bool:
-        """Fire a single event. Returns ``False`` when the queue is empty."""
+        """Fire a single event. Returns ``False`` when the queue is empty.
+
+        Not reentrant, same as :meth:`run`: a ``step()`` from inside a
+        running callback would interleave event firing.
+        """
+        if self._running:
+            raise SimulationError("Simulator.step() is not reentrant")
         event = self._queue.pop()
         if event is None:
             return False
-        self.now = event.time
-        self.events_fired += 1
-        event.fn(*event.args)
+        self._running = True
+        try:
+            self.now = event.time
+            self.events_fired += 1
+            event.fn(*event.args)
+        finally:
+            self._running = False
         return True
 
     @property

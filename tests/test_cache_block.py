@@ -136,3 +136,49 @@ def test_contains_consistent_with_missing(blocks):
     cache.fill(blocks)
     for b in set(blocks):
         assert cache.contains(b) == (b not in cache.peek([b]))
+
+
+# -- regression: an oversized fill must not evict its own head ---------
+
+
+def test_oversized_fill_keeps_head_drops_tail():
+    """A read-ahead run larger than the pool keeps its *head*.
+
+    Regression: ``fill`` used to evict its own just-inserted blocks to
+    make room for the run's tail, leaving the cache holding the end of
+    the run while the host consumes from the start — every oversized
+    fill became guaranteed misses.
+    """
+    cache = BlockCache(4, policy=BlockPolicy.MRU)
+    cache.fill(list(range(10)))
+    assert [b for b in range(10) if cache.contains(b)] == [0, 1, 2, 3]
+    assert cache.stats.fill_overflow_blocks == 6
+    assert len(cache) == 4
+
+
+def test_oversized_fill_evicts_older_blocks_before_dropping_tail():
+    cache = BlockCache(4, policy=BlockPolicy.MRU)
+    cache.fill([100, 101])
+    cache.access([100, 101])
+    cache.fill(list(range(10)))
+    # older consumed blocks make room for the run's head...
+    assert not cache.contains(100) and not cache.contains(101)
+    assert [b for b in range(10) if cache.contains(b)] == [0, 1, 2, 3]
+    # ...and only the tail that cannot fit is sacrificed
+    assert cache.stats.fill_overflow_blocks == 6
+
+
+def test_oversized_fill_lru_policy_also_protected():
+    cache = BlockCache(3, policy=BlockPolicy.LRU)
+    cache.fill(list(range(8)))
+    assert [b for b in range(8) if cache.contains(b)] == [0, 1, 2]
+    assert cache.stats.fill_overflow_blocks == 5
+
+
+def test_fill_overflow_counter_merges():
+    a = BlockCache(2)
+    a.fill([0, 1, 2])
+    b = BlockCache(2)
+    b.fill([5, 6, 7, 8])
+    merged = a.stats.merge(b.stats)
+    assert merged.fill_overflow_blocks == 3

@@ -155,6 +155,7 @@ class TestRegistryAndCli:
     def test_registry_covers_every_paper_artifact(self):
         expected = {f"fig{i:02d}" for i in range(1, 13)}
         expected |= {"table1", "table2", "validation", "ext_frag"}
+        expected |= {"availability"}  # fault-injection extension
         assert set(EXPERIMENTS) == expected
         assert set(RUNNERS) == expected
 

@@ -1,0 +1,546 @@
+"""Deterministic fault injection: plans, retries, degraded RAID paths."""
+
+import pytest
+
+from repro.array.raid import (
+    MirroredArray,
+    Raid5Array,
+    raid5_parity,
+    raid5_reconstruct,
+    xor_bytes,
+)
+from repro.config import ArrayParams, make_config
+from repro.controller.commands import DiskCommand
+from repro.errors import ConfigError
+from repro.faults.injector import (
+    DISK_FAILED,
+    MEDIA_ERROR,
+    TIMEOUT,
+    UNRECOVERABLE,
+    FaultInjector,
+    FaultRuntime,
+)
+from repro.faults.plan import DiskFaultPlan, FaultPlan
+from repro.faults.profile import (
+    PROFILES,
+    FaultProfile,
+    RetryPolicy,
+    active_fault_profile,
+    fault_profile,
+    get_profile,
+)
+from repro.host.system import System
+from repro.units import KB
+
+
+def _system(small_disk, small_cache, n_disks=2, seed=42):
+    config = make_config(
+        disk=small_disk,
+        cache=small_cache,
+        array=ArrayParams(n_disks=n_disks, striping_unit_bytes=16 * KB),
+        seed=seed,
+    )
+    return System(config)
+
+
+def _plan_for(system, disk_faults, profile=None, seed=0):
+    """Hand-built plan: ``disk_faults`` maps disk id -> DiskFaultPlan."""
+    n = len(system.controllers)
+    disks = tuple(disk_faults.get(d, DiskFaultPlan()) for d in range(n))
+    return FaultPlan(
+        profile=profile if profile is not None else FaultProfile(name="test"),
+        seed=seed,
+        disks=disks,
+    )
+
+
+# -- profiles and policy ----------------------------------------------
+
+
+class TestProfiles:
+    def test_named_profiles_resolve(self):
+        assert get_profile("none") is None
+        for name in ("light", "flaky", "heavy"):
+            profile = get_profile(name)
+            profile.validate()
+            assert profile.any_faults
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigError):
+            get_profile("catastrophic")
+
+    def test_context_manager_installs_and_restores(self):
+        assert active_fault_profile() is None
+        with fault_profile(PROFILES["light"]):
+            assert active_fault_profile() is PROFILES["light"]
+        assert active_fault_profile() is None
+
+    def test_system_picks_up_active_profile(self, small_disk, small_cache):
+        with fault_profile(get_profile("light")):
+            system = _system(small_disk, small_cache)
+            assert system.faults is not None
+            assert system.faults.profile.name == "light"
+        assert _system(small_disk, small_cache).faults is None
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultProfile(transient_error_rate=1.5).validate()
+        with pytest.raises(ConfigError):
+            FaultProfile(slow_factor=0.5).validate()
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base_ms=1.0, backoff_cap_ms=5.0)
+        assert [policy.backoff_ms(a) for a in (1, 2, 3, 4)] == [
+            1.0,
+            2.0,
+            4.0,
+            5.0,
+        ]
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy().backoff_ms(0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1).validate()
+
+
+# -- plan determinism --------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_same_inputs_same_fingerprint(self):
+        profile = get_profile("heavy")
+        a = FaultPlan.generate(profile, 8, seed=7)
+        b = FaultPlan.generate(profile, 8, seed=7)
+        assert a.fingerprint() == b.fingerprint()
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        profile = get_profile("heavy")
+        a = FaultPlan.generate(profile, 8, seed=7)
+        b = FaultPlan.generate(profile, 8, seed=8)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_profile_name_changes_streams(self):
+        base = get_profile("flaky")
+        renamed = FaultProfile(
+            name="flaky2",
+            transient_error_rate=base.transient_error_rate,
+            slow_op_rate=base.slow_op_rate,
+            slow_factor=base.slow_factor,
+        )
+        a = FaultPlan.generate(base, 4, seed=1)
+        b = FaultPlan.generate(renamed, 4, seed=1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_zero_rates_produce_empty_schedules(self):
+        plan = FaultPlan.generate(FaultProfile(name="quiet"), 4, seed=1)
+        for disk in plan.disks:
+            assert disk.failure_windows == ()
+            assert not disk.transient_ops and not disk.slow_ops
+
+    def test_failure_windows_sorted_disjoint_within_horizon(self):
+        profile = FaultProfile(
+            name="fail", mtbf_ms=5_000.0, repair_ms=500.0, horizon_ms=60_000.0
+        )
+        plan = FaultPlan.generate(profile, 4, seed=3)
+        assert plan.total_failure_windows > 0
+        for disk in plan.disks:
+            last_end = -1.0
+            for start, end in disk.failure_windows:
+                assert start > last_end
+                assert end == start + profile.repair_ms
+                assert start < profile.horizon_ms
+                last_end = end
+
+    def test_failed_at_and_failed_ms(self):
+        disk = DiskFaultPlan(failure_windows=((10.0, 20.0), (50.0, 60.0)))
+        assert not disk.failed_at(5.0)
+        assert disk.failed_at(10.0)
+        assert disk.failed_at(19.9)
+        assert not disk.failed_at(20.0)
+        assert disk.failed_ms_until(15.0) == 5.0
+        assert disk.failed_ms_until(100.0) == 20.0
+
+    def test_transient_rate_is_roughly_honoured(self):
+        profile = FaultProfile(
+            name="rate", transient_error_rate=0.05, horizon_ops=20_000
+        )
+        plan = FaultPlan.generate(profile, 1, seed=11)
+        count = len(plan.disks[0].transient_ops)
+        assert 0.03 * 20_000 < count < 0.07 * 20_000
+
+
+class TestFaultInjector:
+    def test_ordinals_drive_outcomes(self):
+        disk_plan = DiskFaultPlan(
+            transient_ops=frozenset({1}), slow_ops=frozenset({2})
+        )
+        injector = FaultInjector(0, disk_plan)
+        assert injector.media_outcome(10.0, 4.0) == (0.0, None)
+        assert injector.media_outcome(10.0, 4.0) == (0.0, MEDIA_ERROR)
+        assert injector.media_outcome(10.0, 4.0) == (30.0, None)
+        assert injector.transient_injected == 1
+        assert injector.slow_injected == 1
+
+
+# -- controller retry / timeout / offline ------------------------------
+
+
+class TestControllerFaults:
+    def _read(self, system, disk=0, start=0, n=4):
+        done = []
+        cmd = DiskCommand(disk, start, n, False, -1, done.append)
+        system.array.submit_command(cmd)
+        system.sim.run()
+        assert done, "command never completed"
+        return cmd
+
+    def test_transient_error_is_retried_and_recovers(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache)
+        plan = _plan_for(
+            system, {0: DiskFaultPlan(transient_ops=frozenset({0}))}
+        )
+        FaultRuntime.attach(system, plan, RetryPolicy())
+        cmd = self._read(system)
+        stats = system.controllers[0].stats
+        assert cmd.error is None
+        assert stats.media_errors == 1
+        assert stats.media_retries == 1
+        assert stats.failed_commands == 0
+
+    def test_retry_exhaustion_fails_the_command(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache)
+        plan = _plan_for(
+            system, {0: DiskFaultPlan(transient_ops=frozenset(range(50)))}
+        )
+        FaultRuntime.attach(system, plan, RetryPolicy(max_retries=2))
+        cmd = self._read(system)
+        stats = system.controllers[0].stats
+        assert cmd.error == MEDIA_ERROR
+        assert stats.media_retries == 2
+        assert stats.failed_commands == 1
+
+    def test_slow_op_past_deadline_counts_as_timeout(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache)
+        plan = _plan_for(system, {})
+        # Every mechanical op takes >> 1 us, so each completion blows
+        # the deadline; with no retries the read fails as a timeout.
+        FaultRuntime.attach(
+            system, plan, RetryPolicy(max_retries=0, command_timeout_ms=0.001)
+        )
+        cmd = self._read(system)
+        stats = system.controllers[0].stats
+        assert cmd.error == TIMEOUT
+        assert stats.command_timeouts >= 1
+        assert stats.failed_commands == 1
+
+    def test_offline_controller_fails_fast(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache)
+        plan = _plan_for(
+            system,
+            {0: DiskFaultPlan(failure_windows=((0.0, 1e9),))},
+        )
+        FaultRuntime.attach(system, plan, RetryPolicy())
+        system.sim.run(until=1.0)  # fire the failure transition
+        assert system.controllers[0].offline
+        cmd = self._read(system)
+        assert cmd.error == DISK_FAILED
+        assert system.controllers[0].stats.failed_commands == 1
+
+    def test_summary_aggregates_ledger(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache)
+        plan = _plan_for(
+            system, {0: DiskFaultPlan(transient_ops=frozenset({0}))}
+        )
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy())
+        self._read(system)
+        summary = runtime.summary(1_000.0, system.array.controller_stats())
+        assert summary.transient_errors == 1
+        assert summary.media_retries == 1
+        assert summary.availability == 1.0
+
+    def test_availability_reflects_failed_disk_time(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache)
+        plan = _plan_for(
+            system,
+            {0: DiskFaultPlan(failure_windows=((0.0, 500.0),))},
+        )
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy())
+        system.sim.run()
+        summary = runtime.summary(1_000.0, system.array.controller_stats())
+        assert summary.disk_failures == 1
+        assert summary.failed_disk_ms == 500.0
+        # 500 ms lost of 2 disks x 1000 ms
+        assert summary.availability == pytest.approx(0.75)
+
+
+# -- RAID-1 degraded paths ---------------------------------------------
+
+
+class TestMirrorDegraded:
+    def test_reads_avoid_a_failed_replica(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache, n_disks=4)
+        plan = _plan_for(
+            system,
+            {0: DiskFaultPlan(failure_windows=((0.0, 1e9),))},
+            profile=FaultProfile(name="test", rebuild_span_blocks=0),
+        )
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy())
+        mirror = MirroredArray(system.array, faults=runtime)
+        system.sim.run(until=1.0)
+        commands = mirror.submit_logical(0, 4)
+        system.sim.run()
+        assert [c.disk_id for c in commands] == [2]  # partner, not disk 0
+        assert commands[0].error is None
+
+    def test_failed_primary_read_falls_back_to_partner(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache, n_disks=4)
+        plan = _plan_for(
+            system, {0: DiskFaultPlan(transient_ops=frozenset(range(50)))}
+        )
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy(max_retries=0))
+        mirror = MirroredArray(system.array, faults=runtime)
+        settled = []
+        mirror._issue_read_with_fallback(
+            DiskCommand(0, 0, 4, False, -1), settled.append
+        )
+        system.sim.run()
+        assert len(settled) == 1
+        assert settled[0].error is None
+        assert settled[0].disk_id == 2
+        assert mirror.degraded_reads == 1
+        assert runtime.degraded_reads == 1
+
+    def test_both_replicas_lost_is_unrecoverable(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache, n_disks=4)
+        bad = DiskFaultPlan(transient_ops=frozenset(range(50)))
+        plan = _plan_for(system, {0: bad, 2: bad})
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy(max_retries=0))
+        mirror = MirroredArray(system.array, faults=runtime)
+        done = []
+        cmd = DiskCommand(0, 0, 4, False, -1, done.append)
+        mirror.submit_command(cmd)
+        system.sim.run()
+        assert done and cmd.error == UNRECOVERABLE
+        assert mirror.unrecovered_reads == 1
+
+    def test_recovery_starts_a_rebuild_that_copies_blocks(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache, n_disks=4)
+        profile = FaultProfile(
+            name="rebuild", rebuild_span_blocks=128, rebuild_chunk_blocks=32
+        )
+        plan = _plan_for(
+            system,
+            {0: DiskFaultPlan(failure_windows=((0.0, 5.0),))},
+            profile=profile,
+        )
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy())
+        mirror = MirroredArray(system.array, faults=runtime)
+        system.sim.run()
+        assert len(mirror.rebuilds) == 1
+        stream = mirror.rebuilds[0]
+        assert stream.completed
+        assert stream.blocks_copied == 128
+        assert runtime.rebuild_blocks_copied == 128
+        # the copy went through the ordinary media path on both sides
+        assert system.controllers[2].stats.media_blocks_read >= 128
+        assert system.controllers[0].stats.media_blocks_written >= 128
+
+
+# -- RAID-5 ------------------------------------------------------------
+
+
+class TestRaid5Math:
+    def test_xor_roundtrip(self):
+        a, b, c = b"\x01\x02", b"\x10\x20", b"\xff\x00"
+        parity = raid5_parity([a, b, c])
+        assert raid5_reconstruct([a, b, parity]) == c
+        assert raid5_reconstruct([a, c, parity]) == b
+        assert xor_bytes(a, a) == b"\x00\x00"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            xor_bytes(b"\x01", b"\x01\x02")
+
+    def test_parity_rotates_across_all_disks(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache, n_disks=4)
+        raid = Raid5Array(system.array)
+        parity_disks = [raid.parity_disk(row) for row in range(4)]
+        assert sorted(parity_disks) == [0, 1, 2, 3]
+
+    def test_data_never_lands_on_its_rows_parity_disk(
+        self, small_disk, small_cache
+    ):
+        system = _system(small_disk, small_cache, n_disks=4)
+        raid = Raid5Array(system.array)
+        for lb in range(0, raid.unit * 12, raid.unit):
+            disk, phys = raid.locate(lb)
+            row = phys // raid.unit
+            assert disk != raid.parity_disk(row)
+
+    def test_needs_three_disks(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache, n_disks=2)
+        with pytest.raises(ConfigError):
+            Raid5Array(system.array)
+
+    def test_capacity_is_n_minus_one_over_n(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache, n_disks=4)
+        raid = Raid5Array(system.array)
+        assert raid.logical_capacity_blocks == (
+            system.striping.total_blocks * 3 // 4
+        )
+
+
+class TestRaid5Degraded:
+    def _degraded_setup(self, small_disk, small_cache, windows):
+        system = _system(small_disk, small_cache, n_disks=4)
+        plan = _plan_for(
+            system,
+            {d: DiskFaultPlan(failure_windows=w) for d, w in windows.items()},
+            profile=FaultProfile(name="test", rebuild_span_blocks=0),
+        )
+        runtime = FaultRuntime.attach(system, plan, RetryPolicy())
+        raid = Raid5Array(system.array, faults=runtime)
+        system.sim.run(until=1.0)
+        return system, raid
+
+    def test_write_hits_data_and_parity_disks(self, small_disk, small_cache):
+        system = _system(small_disk, small_cache, n_disks=4)
+        raid = Raid5Array(system.array)
+        commands = raid.submit_logical(0, 4, is_write=True)
+        system.sim.run()
+        data_disk, _ = raid.locate(0)
+        assert sorted(c.disk_id for c in commands) == sorted(
+            [data_disk, raid.parity_disk(0)]
+        )
+
+    def test_lost_disk_read_reconstructs_from_survivors(
+        self, small_disk, small_cache
+    ):
+        system, raid = self._degraded_setup(
+            small_disk, small_cache, {0: ((0.0, 1e9),)}
+        )
+        # a logical block whose home is the failed disk
+        lb = next(
+            lb
+            for lb in range(0, raid.unit * 8, raid.unit)
+            if raid.locate(lb)[0] == 0
+        )
+        done = []
+        commands = raid.submit_logical(lb, 4, on_complete=lambda: done.append(1))
+        system.sim.run(until=500.0)
+        assert done == [1]
+        assert sorted(c.disk_id for c in commands) == [1, 2, 3]
+        assert raid.degraded_reads == 1
+        assert raid.unrecovered_reads == 0
+
+    def test_two_lost_members_is_data_loss(self, small_disk, small_cache):
+        system, raid = self._degraded_setup(
+            small_disk,
+            small_cache,
+            {0: ((0.0, 1e9),), 1: ((0.0, 1e9),)},
+        )
+        lb = next(
+            lb
+            for lb in range(0, raid.unit * 8, raid.unit)
+            if raid.locate(lb)[0] == 0
+        )
+        raid.submit_logical(lb, 4)
+        system.sim.run(until=500.0)
+        assert raid.unrecovered_reads == 1
+        assert raid.degraded_reads == 0
+
+    def test_degraded_write_skips_the_lost_member(
+        self, small_disk, small_cache
+    ):
+        system, raid = self._degraded_setup(
+            small_disk, small_cache, {0: ((0.0, 1e9),)}
+        )
+        lb = next(
+            lb
+            for lb in range(0, raid.unit * 8, raid.unit)
+            if raid.locate(lb)[0] == 0
+        )
+        commands = raid.submit_logical(lb, 4, is_write=True)
+        system.sim.run(until=500.0)
+        row = raid.locate(lb)[1] // raid.unit
+        assert [c.disk_id for c in commands] == [raid.parity_disk(row)]
+        assert all(c.error is None for c in commands)
+
+
+# -- determinism across the parallel runner ----------------------------
+
+
+class TestFaultSweepDeterminism:
+    def test_serial_and_parallel_availability_identical(self):
+        from repro.experiments.parallel import sweep_experiment
+
+        serial, _ = sweep_experiment(
+            "availability", scale=0.05, seed=5, jobs=1, values=[0.0, 0.5]
+        )
+        parallel, _ = sweep_experiment(
+            "availability", scale=0.05, seed=5, jobs=2, values=[0.0, 0.5]
+        )
+        assert serial.to_dict() == parallel.to_dict()
+        # the faulted cell actually exercised the fault machinery
+        retries = serial.series["retries"]
+        degraded = serial.series["degraded"]
+        assert retries[0] == 0 and degraded[0] == 0  # mtbf=0 baseline
+        assert retries[1] + degraded[1] > 0
+
+    def test_faults_flag_joins_cache_key_only_when_set(self):
+        from repro.experiments.cache import ResultCache
+        from repro.experiments.parallel import Cell
+
+        plain = Cell(exp="fig01", index=0, axis="frag_points", value=1)
+        faulted = Cell(
+            exp="fig01", index=0, axis="frag_points", value=1, faults="flaky"
+        )
+        assert "faults" not in plain.cache_payload()
+        assert faulted.cache_payload()["faults"] == "flaky"
+        assert ResultCache.key_for(plain.cache_payload()) != ResultCache.key_for(
+            faulted.cache_payload()
+        )
+
+    def test_expand_cells_normalises_none_and_validates(self):
+        from repro.experiments.parallel import expand_cells
+
+        for cell in expand_cells("fig01", faults="none"):
+            assert cell.faults is None
+        for cell in expand_cells("fig01", faults="heavy"):
+            assert cell.faults == "heavy"
+        with pytest.raises(ConfigError):
+            expand_cells("fig01", faults="bogus")
+
+    def test_worker_installs_profile_for_its_cell(self):
+        from repro.experiments.parallel import Cell, run_cell
+
+        cell = Cell(
+            exp="availability",
+            index=0,
+            axis="mtbf_s",
+            value=0.0,
+            scale=0.05,
+            seed=5,
+            faults="light",
+        )
+        index, _, data = run_cell(cell)
+        assert index == 0
+        assert active_fault_profile() is None  # restored afterwards

@@ -140,3 +140,67 @@ class TestSimulator:
         sim.schedule(0.0, tick, 3)
         sim.run()
         assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+
+class TestRunUntilDrainRegression:
+    """run(until=T) must land on T even when the queue drains early."""
+
+    def test_clock_reaches_horizon_after_drain(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+    def test_empty_queue_still_advances_to_horizon(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 3.0
+
+    def test_past_horizon_never_rewinds_the_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert sim.run(until=5.0) == 10.0
+
+    def test_resumed_run_continues_from_idled_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run(until=5.0)
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0, 6.0]
+
+
+class TestStepReentrancyRegression:
+    """step() from inside a firing callback must raise, not interleave."""
+
+    def test_nested_step_raises(self):
+        sim = Simulator()
+        caught = []
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.step()
+            caught.append(sim.now)
+
+        sim.schedule(1.0, nested)
+        sim.schedule(2.0, lambda: caught.append(sim.now))
+        assert sim.step()
+        assert caught == [1.0]
+        # the engine stays usable after the rejected nested call
+        assert sim.step()
+        assert caught == [1.0, 2.0]
+        assert not sim.step()
+
+    def test_step_inside_run_callback_raises(self):
+        sim = Simulator()
+        caught = []
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.step()
+            caught.append(True)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert caught == [True]
