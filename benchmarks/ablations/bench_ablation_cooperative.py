@@ -7,14 +7,13 @@ quantifies the difference on a workload whose hot set is *unevenly*
 distributed across disks — the case cooperation exists for.
 """
 
-from collections import Counter
 
 from repro import SyntheticSpec, SyntheticWorkload, ultrastar_36z15_config
 from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
 from repro.hdc.planner import plan_pin_sets
 from repro.hdc.profiler import BlockAccessProfiler
 from repro.host.system import System
-from repro.units import KB, MB
+from repro.units import KB
 
 from benchmarks.helpers import run_once
 

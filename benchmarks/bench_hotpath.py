@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Hot-path micro-benchmark for the controller cache core.
+
+Times the operations the replay loop spends most of its cycles in —
+segment-cache fill/evict churn (the satellite-2 victim-selection
+rewrite targets exactly this), block-cache fill+access cycles, pinned
+HDC region micro-ops, and a short end-to-end replay through the staged
+controller pipeline — and writes the wall-clock seconds per scenario
+to ``BENCH_hotpath.json``.
+
+The segment scenarios sweep the segment count (64 / 512 / 2048)
+because the old linear victim scan was O(n_segments) per replacement:
+the heap-based core should hold roughly flat per-fill cost where the
+old code degraded linearly.  CI runs this as a *non-gating* step; the
+JSON is an artifact for trend-watching, not a pass/fail signal.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_hotpath.py [-o OUT]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.cache.block import BlockCache
+from repro.cache.pinned import PinnedRegion
+from repro.cache.segment import SegmentCache
+from repro.config import ArrayParams, CacheParams, DiskParams, SegmentPolicy, make_config
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.units import KB, MB
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta
+
+
+def bench_segment_fill_evict(n_segments: int, seg_blocks: int = 16, fills: int = 20_000) -> float:
+    """Steady-state replacement churn: every fill beyond capacity evicts."""
+    cache = SegmentCache(n_segments, seg_blocks, SegmentPolicy.LRU)
+    t0 = time.perf_counter()
+    base = 0
+    for i in range(fills):
+        cache.fill(list(range(base, base + seg_blocks)), stream_hint=i % (4 * n_segments))
+        base += seg_blocks
+    return time.perf_counter() - t0
+
+
+def bench_block_fill_access(capacity: int = 4096, fills: int = 20_000, run: int = 16) -> float:
+    """Block-cache fill + touch cycle (MRU list maintenance)."""
+    cache = BlockCache(capacity)
+    t0 = time.perf_counter()
+    base = 0
+    for _ in range(fills):
+        cache.fill(range(base, base + run))
+        cache.access(range(base, base + run))
+        base += run
+    return time.perf_counter() - t0
+
+
+def bench_pinned_ops(n_blocks: int = 4096, rounds: int = 200) -> float:
+    """HDC pinned region: pin, absorb writes, flush the dirty set."""
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        region = PinnedRegion(n_blocks)
+        region.pin_many(range(n_blocks))
+        for block in range(0, n_blocks, 4):
+            region.write(block)
+        region.flush()
+    return time.perf_counter() - t0
+
+
+def bench_replay_loop(n_records: int = 400) -> float:
+    """End-to-end: sequential reads through the full staged pipeline."""
+    config = make_config(
+        disk=DiskParams(capacity_bytes=64 * MB),
+        cache=CacheParams(
+            size_bytes=256 * KB, block_size=4 * KB,
+            segment_size_bytes=32 * KB, n_segments=8,
+        ),
+        array=ArrayParams(n_disks=2, striping_unit_bytes=16 * KB),
+        seed=42,
+    )
+    records = [DiskAccess([((i * 8) % 12_000, 4)]) for i in range(n_records)]
+    trace = Trace(records, TraceMeta(n_streams=8, coalesce_prob=1.0))
+    system = System(config)
+    driver = ReplayDriver(system, trace)
+    t0 = time.perf_counter()
+    driver.run()
+    elapsed = time.perf_counter() - t0
+    assert driver.records_completed == n_records
+    return elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_hotpath.json")
+    args = parser.parse_args()
+
+    results = {}
+    for n in (64, 512, 2048):
+        results[f"segment_fill_evict_n{n}_s"] = round(bench_segment_fill_evict(n), 4)
+    results["block_fill_access_s"] = round(bench_block_fill_access(), 4)
+    results["pinned_ops_s"] = round(bench_pinned_ops(), 4)
+    results["replay_loop_s"] = round(bench_replay_loop(), 4)
+
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from repro.array.striping import PhysicalRun, StripingLayout
+from repro.array.striping import StripingLayout
 from repro.bus.scsi import ScsiBus
 from repro.controller.commands import DiskCommand
 from repro.controller.controller import DiskController

@@ -1,4 +1,4 @@
-"""Common interface and statistics for controller caches.
+"""Common interface for controller caches, built on the shared core.
 
 The controller interacts with its cache through three operations:
 
@@ -10,62 +10,20 @@ The controller interacts with its cache through three operations:
   operation (requested + read-ahead).
 
 Blocks are identified by their physical block number on the owning
-disk. The cache never stores data, only presence/recency metadata —
-exactly what a performance simulator needs.
+disk. Presence, statistics and tracer recording are shared via
+:class:`repro.cache.core.CacheCore`; concrete policies only decide what
+to keep and what to evict. The cache never stores data, only
+presence/recency metadata — exactly what a performance simulator needs.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, List, Sequence
 
-from repro.obs.tracer import NULL_TRACER
+from repro.cache.core import CacheCore, CacheStats
 
-
-@dataclass
-class CacheStats:
-    """Hit/miss and pollution accounting for one controller cache."""
-
-    lookups: int = 0
-    block_hits: int = 0
-    block_misses: int = 0
-    fills: int = 0
-    blocks_filled: int = 0
-    evictions: int = 0
-    #: Blocks evicted without ever being accessed by the host —
-    #: the paper's "useless read-ahead blocks" (cache pollution).
-    useless_evictions: int = 0
-    #: Fill blocks dropped because a single fill run exceeded the pool
-    #: and nothing outside the run itself was evictable (the run's tail
-    #: is sacrificed, never its head).
-    fill_overflow_blocks: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of looked-up blocks found in the cache."""
-        total = self.block_hits + self.block_misses
-        return self.block_hits / total if total else 0.0
-
-    @property
-    def pollution_rate(self) -> float:
-        """Fraction of filled blocks evicted unused."""
-        return self.useless_evictions / self.blocks_filled if self.blocks_filled else 0.0
-
-    def merge(self, other: "CacheStats") -> "CacheStats":
-        """Element-wise sum (for array-wide aggregation)."""
-        return CacheStats(
-            lookups=self.lookups + other.lookups,
-            block_hits=self.block_hits + other.block_hits,
-            block_misses=self.block_misses + other.block_misses,
-            fills=self.fills + other.fills,
-            blocks_filled=self.blocks_filled + other.blocks_filled,
-            evictions=self.evictions + other.evictions,
-            useless_evictions=self.useless_evictions + other.useless_evictions,
-            fill_overflow_blocks=(
-                self.fill_overflow_blocks + other.fill_overflow_blocks
-            ),
-        )
+__all__ = ["CacheStats", "ControllerCache"]
 
 
 class ControllerCache(ABC):
@@ -73,22 +31,26 @@ class ControllerCache(ABC):
 
     def __init__(self, capacity_blocks: int):
         self.capacity_blocks = capacity_blocks
-        self.stats = CacheStats()
-        self._tracer = NULL_TRACER
-        self._track = ""
+        #: Shared presence map + stats + tracer recording engine.
+        self.core = CacheCore()
+        #: The core's counters, exposed under the historical name.
+        self.stats = self.core.stats
 
-    def attach_tracer(self, tracer, track: str) -> None:
+    def attach_tracer(self, tracer: Any, track: str) -> None:
         """Emit cache events on ``track`` (the owning controller's)."""
-        self._tracer = tracer
-        self._track = track
+        self.core.attach_tracer(tracer, track)
 
-    @abstractmethod
     def contains(self, block: int) -> bool:
         """Whether ``block`` is currently cached."""
+        return block in self.core.present
 
-    @abstractmethod
     def missing(self, blocks: Sequence[int]) -> List[int]:
         """Subset of ``blocks`` not in the cache (stats are updated)."""
+        return self.core.missing(blocks)
+
+    def __len__(self) -> int:
+        """Number of blocks currently cached."""
+        return len(self.core.present)
 
     @abstractmethod
     def access(self, blocks: Iterable[int]) -> None:
@@ -106,10 +68,7 @@ class ControllerCache(ABC):
     def invalidate(self, block: int) -> None:
         """Drop ``block`` if present (used for write coherence)."""
 
-    @abstractmethod
-    def __len__(self) -> int:
-        """Number of blocks currently cached."""
-
     def peek(self, blocks: Sequence[int]) -> List[int]:
         """Like :meth:`missing` but without touching statistics/recency."""
-        return [b for b in blocks if not self.contains(b)]
+        present = self.core.present
+        return [b for b in blocks if b not in present]

@@ -1,0 +1,242 @@
+"""Shared cache core: presence map, recency order, victim structures.
+
+Every controller-side cache policy — the segment-organized cache, FOR's
+block-organized cache, and the HDC pinned region — needs the same three
+ingredients:
+
+* a **presence map** from physical block number to the policy's
+  per-block payload (the owning segment, a dirty flag, or plain
+  membership),
+* **O(1)/O(log n) victim and slot maintenance** over that population,
+  and
+* uniform **statistics and tracer recording** for lookups and
+  evictions.
+
+This module provides those ingredients once, so the policies in
+:mod:`repro.cache.block`, :mod:`repro.cache.segment` and
+:mod:`repro.cache.pinned` stay thin: they decide *what* to keep, the
+core does the bookkeeping. The structures here also remove the O(n)
+scans the original policies carried (``min()`` victim selection and
+``list.index``/``list.remove`` slot bookkeeping): victim selection is a
+lazy-deletion heap (:class:`VictimHeap`) and slot lookup is a bisect
+over monotone order keys (:class:`SlotList`).
+
+Only presence/recency *metadata* is stored, never data — exactly what a
+performance simulator needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.obs.tracer import NULL_TRACER
+
+#: Sentinel distinguishing "no stream annotation" from ``stream=-1``.
+_NO_STREAM = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and pollution accounting for one controller cache."""
+
+    lookups: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+    fills: int = 0
+    blocks_filled: int = 0
+    evictions: int = 0
+    #: Blocks evicted without ever being accessed by the host —
+    #: the paper's "useless read-ahead blocks" (cache pollution).
+    useless_evictions: int = 0
+    #: Fill blocks dropped because a single fill run exceeded the pool
+    #: and nothing outside the run itself was evictable (the run's tail
+    #: is sacrificed, never its head).
+    fill_overflow_blocks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of looked-up blocks found in the cache."""
+        total = self.block_hits + self.block_misses
+        return self.block_hits / total if total else 0.0
+
+    @property
+    def pollution_rate(self) -> float:
+        """Fraction of filled blocks evicted unused."""
+        return self.useless_evictions / self.blocks_filled if self.blocks_filled else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum (for array-wide aggregation)."""
+        return CacheStats(
+            lookups=self.lookups + other.lookups,
+            block_hits=self.block_hits + other.block_hits,
+            block_misses=self.block_misses + other.block_misses,
+            fills=self.fills + other.fills,
+            blocks_filled=self.blocks_filled + other.blocks_filled,
+            evictions=self.evictions + other.evictions,
+            useless_evictions=self.useless_evictions + other.useless_evictions,
+            fill_overflow_blocks=(
+                self.fill_overflow_blocks + other.fill_overflow_blocks
+            ),
+        )
+
+
+class CacheCore:
+    """Presence map plus shared stats/tracer recording.
+
+    ``present`` maps block number → policy payload; policies read it
+    directly on their hot paths (a plain dict lookup) and route every
+    membership change through it. Lookup and eviction *accounting* goes
+    through :meth:`missing` / :meth:`record_eviction`, which keep the
+    :class:`CacheStats` counters and the ``cache.lookup`` /
+    ``cache.evict`` tracer instants identical across policies.
+    """
+
+    __slots__ = ("present", "stats", "tracer", "track")
+
+    def __init__(self) -> None:
+        self.present: Dict[int, Any] = {}
+        self.stats = CacheStats()
+        self.tracer = NULL_TRACER
+        self.track = ""
+
+    def attach_tracer(self, tracer: Any, track: str) -> None:
+        """Emit cache events on ``track`` (the owning controller's)."""
+        self.tracer = tracer
+        self.track = track
+
+    def missing(self, blocks: Sequence[int]) -> List[int]:
+        """Subset of ``blocks`` not present; updates hit/miss stats."""
+        present = self.present
+        absent = [b for b in blocks if b not in present]
+        stats = self.stats
+        n_absent = len(absent)
+        stats.lookups += len(blocks)
+        stats.block_hits += len(blocks) - n_absent
+        stats.block_misses += n_absent
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track,
+                "cache.lookup",
+                hits=len(blocks) - n_absent,
+                misses=n_absent,
+            )
+        return absent
+
+    def record_eviction(
+        self, blocks: int, unused: int, stream: Any = _NO_STREAM
+    ) -> None:
+        """Account one eviction of ``blocks`` blocks, ``unused`` unread."""
+        self.stats.evictions += 1
+        self.stats.useless_evictions += unused
+        if self.tracer.enabled:
+            if stream is _NO_STREAM:
+                self.tracer.instant(
+                    self.track, "cache.evict", blocks=blocks, unused=unused
+                )
+            else:
+                self.tracer.instant(
+                    self.track,
+                    "cache.evict",
+                    blocks=blocks,
+                    unused=unused,
+                    stream=stream,
+                )
+
+
+class VictimHeap:
+    """Lazy-deletion min-heap for O(log n) victim selection.
+
+    Entries are ``(key, order, item)``; stale entries (the item was
+    dropped, or its key has since changed) are skipped at pop time via
+    the caller's validity predicate. ``order`` breaks key ties with the
+    item's arrival order, reproducing the first-in-sequence choice a
+    linear ``min()`` scan over an ordered sequence would make.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Any, Any, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, key: Any, order: Any, item: Any) -> None:
+        """Add a candidate entry."""
+        heapq.heappush(self._heap, (key, order, item))
+
+    def pop_min(self, is_valid: Callable[[Any, Any], bool]) -> Any:
+        """Pop entries until ``is_valid(item, key)``; return that item.
+
+        Raises ``IndexError`` if no valid entry remains — callers
+        maintain the invariant that every live candidate has a current
+        entry in the heap.
+        """
+        heap = self._heap
+        while heap:
+            key, _order, item = heapq.heappop(heap)
+            if is_valid(item, key):
+                return item
+        raise IndexError("pop_min on exhausted VictimHeap")
+
+
+class SlotList:
+    """A sequence of live items preserving arrival/replacement order.
+
+    Replaces a plain ``list`` whose O(n) ``index``/``remove`` calls
+    dominated segment bookkeeping. Each item is stamped with a monotone
+    ``order_key``; replacement hands the key (and therefore the
+    position) to the successor, so relative order is exactly that of
+    the original append/replace-in-place/remove list discipline while
+    positions are found by bisect in O(log n).
+
+    Items must expose a writable ``order_key`` attribute.
+    """
+
+    __slots__ = ("_items", "_next_key")
+
+    def __init__(self) -> None:
+        self._items: List[Any] = []
+        self._next_key = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def _locate(self, item: Any) -> int:
+        """Index of ``item`` by bisecting its order key."""
+        items = self._items
+        key = item.order_key
+        lo, hi = 0, len(items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if items[mid].order_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(items) or items[lo] is not item:
+            raise ValueError(f"{item!r} not in SlotList")
+        return lo
+
+    def append(self, item: Any) -> None:
+        """Add ``item`` at the end (a fresh, maximal order key)."""
+        item.order_key = self._next_key
+        self._next_key += 1
+        self._items.append(item)
+
+    def replace(self, old: Any, new: Any) -> None:
+        """Put ``new`` exactly where ``old`` was (inherits its key)."""
+        index = self._locate(old)
+        new.order_key = old.order_key
+        self._items[index] = new
+
+    def remove(self, item: Any) -> None:
+        """Drop ``item``; the relative order of the rest is unchanged."""
+        del self._items[self._locate(item)]

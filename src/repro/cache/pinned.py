@@ -12,14 +12,18 @@ Dirty pinned blocks are *not* written through: a write to a pinned
 block updates the cached copy only, deferring media traffic until the
 next ``flush_hdc`` (the paper syncs at period end, or every 30 s for
 file servers).
+
+A thin policy over :class:`repro.cache.core.CacheCore`: the shared
+presence map holds block → dirty flag, giving O(1) pin/unpin/lookup
+with the same tracer plumbing as the main cache organizations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List
 
 from repro.errors import CacheError
-from repro.obs.tracer import NULL_TRACER
+from repro.cache.core import CacheCore
 
 
 class PinnedRegion:
@@ -29,16 +33,15 @@ class PinnedRegion:
         if capacity_blocks < 0:
             raise CacheError(f"negative HDC capacity {capacity_blocks}")
         self.capacity_blocks = capacity_blocks
-        self._dirty: Dict[int, bool] = {}
+        self.core = CacheCore()
+        #: block → dirty flag (an alias of the core's presence map).
+        self._dirty: Dict[int, bool] = self.core.present
         self.hits = 0
         self.write_hits = 0
-        self._tracer = NULL_TRACER
-        self._track = ""
 
-    def attach_tracer(self, tracer, track: str) -> None:
+    def attach_tracer(self, tracer: Any, track: str) -> None:
         """Emit HDC events on ``track`` (the owning controller's)."""
-        self._tracer = tracer
-        self._track = track
+        self.core.attach_tracer(tracer, track)
 
     # -- host commands ---------------------------------------------------
 
@@ -65,8 +68,9 @@ class PinnedRegion:
         if dirty:
             raise CacheError(f"cannot unpin dirty block {block}; flush_hdc first")
         del self._dirty[block]
-        if self._tracer.enabled:
-            self._tracer.instant(self._track, "hdc.unpin", block=block)
+        tracer = self.core.tracer
+        if tracer.enabled:
+            tracer.instant(self.core.track, "hdc.unpin", block=block)
 
     def flush(self) -> List[int]:
         """Return and clear the dirty set (``flush_hdc``).
@@ -77,9 +81,13 @@ class PinnedRegion:
         dirty = [b for b, d in self._dirty.items() if d]
         for b in dirty:
             self._dirty[b] = False
-        if self._tracer.enabled:
-            self._tracer.instant(
-                self._track, "hdc.flush", dirty=len(dirty), pinned=len(self._dirty)
+        tracer = self.core.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.core.track,
+                "hdc.flush",
+                dirty=len(dirty),
+                pinned=len(self._dirty),
             )
         return dirty
 
@@ -121,7 +129,8 @@ class PinnedRegion:
         for b in blocks:
             self.pin(b)
             count += 1
-        if self._tracer.enabled and count:
-            self._tracer.instant(
-                self._track, "hdc.pin", blocks=count, pinned=len(self._dirty)
+        tracer = self.core.tracer
+        if tracer.enabled and count:
+            tracer.instant(
+                self.core.track, "hdc.pin", blocks=count, pinned=len(self._dirty)
             )

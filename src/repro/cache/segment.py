@@ -11,6 +11,14 @@ round-robin — all cited by the paper — are selectable.
 A stream that fills again reuses its own segment, which is how real
 controllers keep one segment per detected sequential stream. Thrashing
 appears exactly when concurrent streams outnumber segments.
+
+Bookkeeping rides on :mod:`repro.cache.core`: the presence map holds
+block → owning segment, segment slots live in a
+:class:`~repro.cache.core.SlotList` (replacement inherits the victim's
+position, reproducing physical slot reuse), and LRU/FIFO victims come
+from a lazy-deletion :class:`~repro.cache.core.VictimHeap` in O(log n)
+instead of a linear ``min()`` scan — ties broken by slot order, exactly
+as the scan over the slot sequence would.
 """
 
 from __future__ import annotations
@@ -22,10 +30,19 @@ import numpy as np
 from repro.config import SegmentPolicy
 from repro.errors import CacheError
 from repro.cache.base import ControllerCache
+from repro.cache.core import SlotList, VictimHeap
 
 
 class _Segment:
-    __slots__ = ("blocks", "accessed", "stream", "last_touch", "created")
+    __slots__ = (
+        "blocks",
+        "accessed",
+        "stream",
+        "last_touch",
+        "created",
+        "order_key",
+        "alive",
+    )
 
     def __init__(self, blocks: List[int], stream: int, stamp: int):
         self.blocks = blocks
@@ -33,6 +50,18 @@ class _Segment:
         self.stream = stream
         self.last_touch = stamp
         self.created = stamp
+        #: Slot-order key, assigned by the owning :class:`SlotList`.
+        self.order_key = 0
+        #: Cleared on drop so stale heap entries are skipped.
+        self.alive = True
+
+
+def _lru_entry_current(seg: _Segment, touch: int) -> bool:
+    return seg.alive and seg.last_touch == touch
+
+
+def _fifo_entry_current(seg: _Segment, _created: int) -> bool:
+    return seg.alive
 
 
 class SegmentCache(ControllerCache):
@@ -54,44 +83,27 @@ class SegmentCache(ControllerCache):
         self.segment_blocks = segment_blocks
         self.policy = policy
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self._segments: List[_Segment] = []
-        self._by_block: Dict[int, _Segment] = {}
+        self._slots = SlotList()
         self._by_stream: Dict[int, _Segment] = {}
+        self._victims = VictimHeap()
         self._clock = 0
         self._rr_next = 0  # round-robin victim pointer
 
-    # -- queries -------------------------------------------------------
-
-    def contains(self, block: int) -> bool:
-        return block in self._by_block
-
-    def missing(self, blocks: Sequence[int]) -> List[int]:
-        absent = []
-        by_block = self._by_block
-        for b in blocks:
-            self.stats.lookups += 1
-            if b in by_block:
-                self.stats.block_hits += 1
-            else:
-                self.stats.block_misses += 1
-                absent.append(b)
-        if self._tracer.enabled:
-            self._tracer.instant(
-                self._track,
-                "cache.lookup",
-                hits=len(blocks) - len(absent),
-                misses=len(absent),
-            )
-        return absent
+    # -- recency -------------------------------------------------------
 
     def access(self, blocks: Iterable[int]) -> None:
         self._clock += 1
         stamp = self._clock
+        present = self.core.present
+        lru = self.policy is SegmentPolicy.LRU
         for b in blocks:
-            seg = self._by_block.get(b)
+            seg = present.get(b)
             if seg is not None:
                 seg.accessed.add(b)
-                seg.last_touch = stamp
+                if seg.last_touch != stamp:
+                    seg.last_touch = stamp
+                    if lru:
+                        self._victims.push(stamp, seg.order_key, seg)
 
     # -- fills and replacement ------------------------------------------
 
@@ -101,8 +113,9 @@ class SegmentCache(ControllerCache):
             return
         self.stats.fills += 1
         size = self.segment_blocks
+        present = self.core.present
         for start in range(0, len(blocks), size):
-            chunk = [b for b in blocks[start : start + size] if b not in self._by_block]
+            chunk = [b for b in blocks[start : start + size] if b not in present]
             if not chunk:
                 continue
             self._install_segment(chunk, stream_hint)
@@ -111,73 +124,71 @@ class SegmentCache(ControllerCache):
         self._clock += 1
         # Reuse this stream's existing segment, as a real controller
         # tracking one segment per sequential stream would.
-        slot = None
+        replaced: Optional[_Segment] = None
         old = self._by_stream.get(stream) if stream >= 0 else None
         if old is not None:
-            slot = self._segments.index(old)
+            replaced = old
             self._drop_segment(old)
-        elif len(self._segments) >= self.n_segments:
-            victim = self._choose_victim()
-            slot = self._segments.index(victim)
-            self._drop_segment(victim)
+        elif len(self._slots) >= self.n_segments:
+            replaced = self._choose_victim()
+            self._drop_segment(replaced)
         seg = _Segment(chunk, stream, self._clock)
-        if slot is None:
-            self._segments.append(seg)
+        if replaced is None:
+            self._slots.append(seg)
         else:
             # Replace in place: segment slots are physical regions of
             # the cache memory (round-robin cycles over slots).
-            self._segments.insert(slot, seg)
+            self._slots.replace(replaced, seg)
+        if self.policy is SegmentPolicy.LRU:
+            self._victims.push(seg.last_touch, seg.order_key, seg)
+        elif self.policy is SegmentPolicy.FIFO:
+            self._victims.push(seg.created, seg.order_key, seg)
         if stream >= 0:
             self._by_stream[stream] = seg
+        present = self.core.present
         for b in chunk:
-            self._by_block[b] = seg
+            present[b] = seg
         self.stats.blocks_filled += len(chunk)
 
     def _choose_victim(self) -> _Segment:
-        segs = self._segments
+        slots = self._slots
         if self.policy is SegmentPolicy.LRU:
-            return min(segs, key=lambda s: s.last_touch)
+            return self._victims.pop_min(_lru_entry_current)
         if self.policy is SegmentPolicy.FIFO:
-            return min(segs, key=lambda s: s.created)
+            return self._victims.pop_min(_fifo_entry_current)
         if self.policy is SegmentPolicy.RANDOM:
-            return segs[int(self._rng.integers(len(segs)))]
+            return slots[int(self._rng.integers(len(slots)))]
         # round-robin over segment slots
-        victim = segs[self._rr_next % len(segs)]
+        victim = slots[self._rr_next % len(slots)]
         self._rr_next += 1
         return victim
 
     def _drop_segment(self, seg: _Segment) -> None:
-        self._segments.remove(seg)
+        """Evict ``seg``'s contents (slot handling is the caller's)."""
+        seg.alive = False
         if seg.stream >= 0 and self._by_stream.get(seg.stream) is seg:
             del self._by_stream[seg.stream]
+        present = self.core.present
         for b in seg.blocks:
-            if self._by_block.get(b) is seg:
-                del self._by_block[b]
-        self.stats.evictions += 1
-        self.stats.useless_evictions += len(seg.blocks) - len(seg.accessed)
-        if self._tracer.enabled:
-            self._tracer.instant(
-                self._track,
-                "cache.evict",
-                blocks=len(seg.blocks),
-                unused=len(seg.blocks) - len(seg.accessed),
-                stream=seg.stream,
-            )
+            if present.get(b) is seg:
+                del present[b]
+        self.core.record_eviction(
+            len(seg.blocks), len(seg.blocks) - len(seg.accessed), stream=seg.stream
+        )
 
     def invalidate(self, block: int) -> None:
-        seg = self._by_block.pop(block, None)
+        seg = self.core.present.pop(block, None)
         if seg is not None:
             seg.blocks.remove(block)
             seg.accessed.discard(block)
             if not seg.blocks:
-                self._segments.remove(seg)
-                if seg.stream >= 0 and self._by_stream.get(seg.stream) is seg:
-                    del self._by_stream[seg.stream]
-
-    def __len__(self) -> int:
-        return len(self._by_block)
+                # The write-coherence path empties a segment one block
+                # at a time; the final removal is a real eviction and
+                # must be accounted as one (stats + tracer instant).
+                self._drop_segment(seg)
+                self._slots.remove(seg)
 
     @property
     def segments_in_use(self) -> int:
         """Number of allocated segments."""
-        return len(self._segments)
+        return len(self._slots)

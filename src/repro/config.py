@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 from repro.faults.profile import FaultProfile, RetryPolicy
-from repro.units import GB, KB, MB, mb_per_s_to_bytes_per_ms, rpm_to_rotation_ms
+from repro.units import KB, MB, mb_per_s_to_bytes_per_ms, rpm_to_rotation_ms
 
 
 class CacheOrganization(str, Enum):

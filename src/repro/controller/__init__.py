@@ -1,7 +1,26 @@
-"""The per-disk controller: queueing, caching, read-ahead, HDC commands."""
+"""The per-disk controller: a staged pipeline behind a slim facade.
 
+Stage order (see :mod:`repro.controller.controller` for the wiring):
+``Frontend`` → ``CachePath`` → read-ahead planning → ``MediaPath`` →
+``Completion``.
+"""
+
+from repro.controller.cachepath import CachePath
 from repro.controller.commands import DiskCommand
+from repro.controller.completion import Completion
 from repro.controller.controller import DiskController
+from repro.controller.frontend import Frontend, contiguous_runs
+from repro.controller.mediapath import MediaJob, MediaPath
 from repro.controller.stats import ControllerStats
 
-__all__ = ["DiskCommand", "DiskController", "ControllerStats"]
+__all__ = [
+    "CachePath",
+    "Completion",
+    "ControllerStats",
+    "DiskCommand",
+    "DiskController",
+    "Frontend",
+    "MediaJob",
+    "MediaPath",
+    "contiguous_runs",
+]

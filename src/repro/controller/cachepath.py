@@ -1,0 +1,154 @@
+"""Stage 2 — CachePath: cache lookup, fill, invalidation, HDC pinning.
+
+Everything the controller does against its cache memory lives here:
+classifying request blocks into HDC hits / cache hits / misses, the
+dispatch-time re-check that lets one command's read-ahead absorb later
+queued commands, media-fill installation, write-coherence recency
+marking, and the pinned-region (HDC) bookkeeping. No queueing, media
+or bus knowledge — the surrounding stages call in with commands and
+block runs only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.cache.base import ControllerCache
+from repro.cache.pinned import PinnedRegion
+from repro.controller.commands import DiskCommand
+from repro.controller.stats import ControllerStats
+from repro.obs.tracer import NULL_TRACER
+
+
+class CachePath:
+    """The cache/HDC stage of one disk controller."""
+
+    def __init__(
+        self,
+        cache: ControllerCache,
+        pinned: PinnedRegion,
+        stats: ControllerStats,
+        tracer: Any = NULL_TRACER,
+        track: str = "",
+    ):
+        self.cache = cache
+        self.pinned = pinned
+        self.stats = stats
+        self.tracer = tracer
+        self.track = track
+        cache.attach_tracer(tracer, track)
+        pinned.attach_tracer(tracer, track)
+
+    # -- read-side classification ---------------------------------------
+
+    def split_read(self, cmd: DiskCommand) -> List[int]:
+        """Classify the command's blocks; returns the missing ones.
+
+        Pinned blocks are HDC hits; the rest go through the main cache's
+        ``missing()`` (which updates hit/miss statistics).
+        """
+        pinned = self.pinned
+        plain: List[int] = []
+        n_pinned = 0
+        for b in cmd.blocks():
+            if pinned.is_pinned(b):
+                pinned.note_read_hit(b)
+                n_pinned += 1
+            else:
+                plain.append(b)
+        self.stats.hdc_block_hits += n_pinned
+        if not plain:
+            return []
+        return self.cache.missing(plain)
+
+    def note_full_hit(self, cmd: DiskCommand) -> None:
+        """Account an arrival-time full cache/HDC hit."""
+        self.stats.full_cache_hits += 1
+        cmd.served_from_cache = True
+        if self.tracer.enabled:
+            self.tracer.instant(self.track, "cache.full-hit", blocks=cmd.n_blocks)
+
+    def recheck(self, cmd: DiskCommand) -> Optional[List[int]]:
+        """Dispatch-time re-check; ``None`` when now fully cached.
+
+        Read-ahead performed for an earlier command can absorb a later
+        queued command — the mechanism that makes read-ahead pay off
+        even when a file's blocks arrive as multiple commands.
+        """
+        cache, pinned = self.cache, self.pinned
+        misses = [
+            b
+            for b in cmd.blocks()
+            if not pinned.is_pinned(b) and not cache.contains(b)
+        ]
+        if misses:
+            return misses
+        self.stats.dispatch_cache_hits += 1
+        cmd.served_from_cache = True
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track, "dispatch.cache-hit", blocks=cmd.n_blocks
+            )
+        return None
+
+    def mark_consumed(self, cmd: DiskCommand) -> None:
+        """Recency-mark a delivered read's non-pinned blocks."""
+        pinned = self.pinned
+        self.cache.access(b for b in cmd.blocks() if not pinned.is_pinned(b))
+
+    def fill_from_media(self, start: int, n_blocks: int, stream: int) -> None:
+        """Install a completed media read (requested + read-ahead)."""
+        pinned = self.pinned
+        fill = [
+            b for b in range(start, start + n_blocks) if not pinned.is_pinned(b)
+        ]
+        self.cache.fill(fill, stream_hint=stream)
+
+    # -- write-side -----------------------------------------------------
+
+    def absorb_write(self, cmd: DiskCommand) -> List[int]:
+        """Absorb pinned-block writes; returns the blocks bound for media.
+
+        Host consumption semantics for the cached survivors: freshly
+        written blocks are the least likely to be re-read (the host
+        caches them itself), so they are recency-marked as consumed.
+        """
+        pinned = self.pinned
+        plain: List[int] = []
+        n_pinned = 0
+        for b in cmd.blocks():
+            if pinned.is_pinned(b):
+                pinned.write(b)
+                n_pinned += 1
+            else:
+                plain.append(b)
+        self.stats.hdc_block_hits += n_pinned
+        self.stats.hdc_write_absorbed += n_pinned
+        cache = self.cache
+        cache.access(b for b in plain if cache.contains(b))
+        return plain
+
+    # -- HDC commands ----------------------------------------------------
+
+    def pin_blocks(self, blocks: Iterable[int]) -> List[int]:
+        """Pin a batch; returns the sorted block list actually pinned."""
+        block_list = sorted(set(blocks))
+        self.pinned.pin_many(block_list)
+        self.stats.pins_loaded += len(block_list)
+        cache = self.cache
+        for b in block_list:
+            cache.invalidate(b)  # pinned region owns the block now
+        return block_list
+
+    def unpin_blocks(self, blocks: Iterable[int]) -> None:
+        """``unpin_blk`` for a batch (blocks must be clean)."""
+        pinned = self.pinned
+        for b in blocks:
+            pinned.unpin(b)
+
+    def flush_dirty(self) -> List[int]:
+        """Collect the HDC dirty set for write-back (sorted)."""
+        dirty = sorted(self.pinned.flush())
+        self.stats.flush_commands += 1
+        self.stats.flush_blocks_written += len(dirty)
+        return dirty

@@ -1,0 +1,78 @@
+"""Stage 5 — Completion: bus transfers, lifecycle close-out, callbacks.
+
+The terminal stage of the controller pipeline. Every host command
+leaves through here: read data crosses the SCSI bus controller → host,
+write data crosses host → controller before the media runs are queued,
+and in both cases the command's trace span is closed and its
+``on_complete`` continuation fires. Failure completions also exit
+through this stage so the continuation discipline is uniform: no
+caller ever observes completion inside its own ``submit()`` frame.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bus.scsi import ScsiBus
+from repro.controller.commands import DiskCommand
+from repro.controller.stats import ControllerStats
+from repro.obs.tracer import NULL_TRACER
+from repro.sim.engine import Simulator
+
+
+class Completion:
+    """The completion stage of one disk controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: ScsiBus,
+        block_size: int,
+        stats: ControllerStats,
+        tracer: Any = NULL_TRACER,
+        track: str = "",
+    ):
+        self.sim = sim
+        self.bus = bus
+        self.block_size = block_size
+        self.stats = stats
+        self.tracer = tracer
+        self.track = track
+
+    def send_read(self, cmd: DiskCommand) -> None:
+        """Move read data to the host over the bus, then finish."""
+        self.bus.transfer(
+            cmd.n_blocks * self.block_size, self._finish_after_bus, cmd
+        )
+
+    def _finish_after_bus(self, cmd: DiskCommand) -> None:
+        """Completion continuation: stamps the time at bus-transfer end."""
+        self.finish(cmd)
+
+    def receive_write(self, cmd: DiskCommand, then: Callable[[], None]) -> None:
+        """Move write data host → controller, then run ``then``."""
+        self.bus.transfer(cmd.n_blocks * self.block_size, then)
+
+    def finish(self, cmd: DiskCommand) -> None:
+        """Close the command's lifecycle span and fire its continuation."""
+        if cmd.trace_span:
+            self.tracer.end(
+                self.track,
+                "write" if cmd.is_write else "read",
+                cmd.trace_span,
+                cached=cmd.served_from_cache,
+            )
+            cmd.trace_span = 0
+        cmd.finish(self.sim.now)
+
+    def fail_async(self, cmd: DiskCommand, error: str) -> None:
+        """Fail ``cmd`` without media or bus work (e.g. offline disk).
+
+        Asynchronous completion keeps the continuation discipline: no
+        caller observes completion inside its own ``submit()`` frame.
+        """
+        cmd.error = error
+        self.stats.failed_commands += 1
+        if self.tracer.enabled:
+            self.tracer.instant(self.track, "fault.reject", error=error)
+        self.sim.schedule(0.0, self.finish, cmd)

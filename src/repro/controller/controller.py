@@ -1,84 +1,46 @@
-"""Disk-controller logic (paper §2.1 mechanics + §4 FOR + §5 HDC).
+"""Disk-controller facade composing the staged pipeline.
 
-Responsibilities, mirroring the paper's simulator description (§6.1):
+The controller logic (paper §2.1 mechanics + §4 FOR + §5 HDC) lives in
+five narrow stages, each its own module:
 
-* **Cache check before queueing** — "Before queuing a new request, the
-  disk controller checks the cache to see if the block is already
-  present in its cache." A fully cached read crosses the bus and
-  completes without touching the media.
-* **Queueing** — pending media operations are ordered by the configured
-  discipline (LOOK by default).
-* **Dispatch re-check** — a queued read is checked against the cache
-  again when dispatched, so read-ahead performed for an earlier command
-  can absorb later queued commands (the mechanism that makes read-ahead
-  pay off even when a file's blocks arrive as multiple commands).
-* **Read-ahead** — the media read for a missing run is extended by the
-  configured policy (blind / none / file-oriented).
-* **HDC** — a pinned region serves reads and absorbs writes for pinned
-  blocks; ``pin_blk``/``unpin_blk``/``flush_hdc`` are exposed to the
-  host.
+1. :class:`~repro.controller.frontend.Frontend` — admission,
+   accounting, read/write splitting;
+2. :class:`~repro.controller.cachepath.CachePath` — cache lookup,
+   fill, invalidation, HDC pinning;
+3. :class:`~repro.readahead.planner.ReadAheadPlanner` — media-read
+   extension policy + accounting;
+4. :class:`~repro.controller.mediapath.MediaPath` — job queue,
+   dispatch, anticipation, fault retry/timeout/offline;
+5. :class:`~repro.controller.completion.Completion` — bus transfers
+   and command close-out.
+
+:class:`DiskController` wires them together and preserves the public
+API the rest of the simulator (array, RAID rebuild, fault runtime,
+metrics sampling) programs against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Optional
 
 from repro.bus.scsi import ScsiBus
 from repro.cache.base import ControllerCache
 from repro.cache.pinned import PinnedRegion
+from repro.controller.cachepath import CachePath
 from repro.controller.commands import DiskCommand
+from repro.controller.completion import Completion
+from repro.controller.frontend import Frontend, contiguous_runs
+from repro.controller.mediapath import MediaJob, MediaPath
 from repro.controller.stats import ControllerStats
 from repro.disk.drive import DiskDrive
-from repro.errors import SimulationError
-from repro.faults.injector import DISK_FAILED, MEDIA_ERROR, TIMEOUT
 from repro.obs.tracer import NULL_TRACER
 from repro.readahead.base import ReadAheadPolicy
+from repro.readahead.planner import ReadAheadPlanner
 from repro.scheduling.base import IOScheduler
 from repro.sim.engine import Simulator
 
-
-def _contiguous_runs(blocks: Sequence[int]) -> List[Tuple[int, int]]:
-    """Group sorted block numbers into (start, length) runs."""
-    runs: List[Tuple[int, int]] = []
-    start = prev = None
-    for b in blocks:
-        if start is None:
-            start = prev = b
-        elif b == prev + 1:
-            prev = b
-        else:
-            runs.append((start, prev - start + 1))
-            start = prev = b
-    if start is not None:
-        runs.append((start, prev - start + 1))
-    return runs
-
-
-class _MediaJob:
-    """One queued media operation (host read, write run, or flush run)."""
-
-    __slots__ = ("kind", "cmd", "start", "n_blocks", "on_done", "attempts")
-
-    READ = 0
-    WRITE_RUN = 1
-    INTERNAL_WRITE = 2
-    INTERNAL_READ = 3
-
-    def __init__(
-        self,
-        kind: int,
-        cmd: Optional[DiskCommand],
-        start: int,
-        n_blocks: int,
-        on_done: Optional[Callable[[], None]] = None,
-    ):
-        self.kind = kind
-        self.cmd = cmd
-        self.start = start
-        self.n_blocks = n_blocks
-        self.on_done = on_done
-        #: Retries already consumed by this job (fault mode only).
-        self.attempts = 0
+#: Backward-compatible alias (tests and callers import it from here).
+_contiguous_runs = contiguous_runs
 
 
 class DiskController:
@@ -110,317 +72,30 @@ class DiskController:
         self.pinned = pinned if pinned is not None else PinnedRegion(0)
         self.dispatch_recheck = dispatch_recheck
         self.tracer = tracer
-        #: Trace track carrying this controller's request lifecycles,
-        #: queue activity and cache/HDC events.
+        #: Trace track carrying this controller's request lifecycles.
         self.trace_track = f"ctrl{disk_id}"
         scheduler.attach_tracer(tracer, self.trace_track)
-        cache.attach_tracer(tracer, self.trace_track)
-        self.pinned.attach_tracer(tracer, self.trace_track)
-        #: Anticipatory scheduling (Iyer & Druschel, the paper's ref.
-        #: [15]): after completing a read for stream ``s``, keep the
-        #: media idle up to this long when the best queued candidate
-        #: belongs to a different stream — ``s``'s next sequential
-        #: request usually arrives within the window and avoids the
-        #: deceptive-idleness seek away and back. 0 disables.
-        self.anticipatory_wait_ms = anticipatory_wait_ms
-        self._last_read_stream = -1
-        self._anticipate_deadline = 0.0
-        self._wait_event = None
-        self.stats = ControllerStats()
-        self._geometry = drive.geometry
-        #: Per-disk :class:`~repro.faults.injector.FaultInjector` and
-        #: :class:`~repro.faults.profile.RetryPolicy`; both ``None``
-        #: (the default) keeps every fault check a single ``is None``
-        #: test on the fast path.
-        self.faults = None
-        self.retry = None
-
-    # ------------------------------------------------------------------
-    # fault injection
-    # ------------------------------------------------------------------
-
-    def attach_faults(self, injector, retry, slow_factor: float = 1.0) -> None:
-        """Enable fault handling: consult ``injector``, retry per ``retry``.
-
-        Called by :meth:`~repro.faults.injector.FaultRuntime.attach`;
-        also forwards the injector (and the profile's slow-response
-        stretch factor) to the drive.
-        """
-        self.faults = injector
-        self.retry = retry
-        self.drive.attach_faults(injector, slow_factor)
-
-    @property
-    def offline(self) -> bool:
-        """Whether this disk is inside a whole-disk failure window."""
-        return self.faults is not None and self.faults.failed
-
-    def fault_transition(self, event: str, disk: int) -> None:
-        """Fault-runtime listener: react to this disk failing/recovering.
-
-        On failure every queued job is failed upward (an in-flight media
-        operation is allowed to finish — its completion handler sees
-        ``offline`` and fails rather than retrying); on recovery the
-        service loop restarts for anything queued meanwhile.
-        """
-        if disk != self.disk_id:
-            return
-        if event == "fail":
-            self._cancel_wait()
-            self._last_read_stream = -1
-            if self.tracer.enabled:
-                self.tracer.instant(self.trace_track, "fault.disk-failed")
-            while self.scheduler:
-                req = self.scheduler.pop(self.drive.head_cylinder)
-                if req is None:  # pragma: no cover - defensive
-                    break
-                self._abort_job(req.payload, DISK_FAILED)
-        elif event == "recover":
-            if self.tracer.enabled:
-                self.tracer.instant(self.trace_track, "fault.disk-recovered")
-            self._kick()
-
-    def _abort_job(self, job: "_MediaJob", error: str) -> None:
-        """Fail a queued/retried job upward without touching the media."""
-        cmd = job.cmd
-        if job.kind == _MediaJob.READ:
-            assert cmd is not None
-            cmd.error = error
-            self.stats.failed_commands += 1
-            self._finish_cmd(cmd)  # no data: completes without the bus
-            return
-        if cmd is not None and cmd.error is None:  # first failed write run
-            cmd.error = error
-            self.stats.failed_commands += 1
-        if job.on_done is not None:
-            job.on_done()
-
-    def _fail_command(self, cmd: DiskCommand, error: str) -> None:
-        """Fail ``cmd`` at submit time (offline disk fail-fast)."""
-        cmd.error = error
-        self.stats.failed_commands += 1
-        if self.tracer.enabled:
-            self.tracer.instant(
-                self.trace_track, "fault.reject", error=error
-            )
-        # Asynchronous completion keeps the continuation discipline:
-        # no caller observes completion inside its own submit() frame.
-        self.sim.schedule(0.0, self._finish_cmd, cmd)
-
-    def _retry_media(self, job: "_MediaJob", error: str) -> bool:
-        """Schedule a bounded-backoff retry of ``job``; False if exhausted."""
-        retry = self.retry
-        if retry is None or job.attempts >= retry.max_retries or self.offline:
-            return False
-        job.attempts += 1
-        self.stats.media_retries += 1
-        backoff = retry.backoff_ms(job.attempts)
-        if self.tracer.enabled:
-            self.tracer.instant(
-                self.trace_track,
-                "fault.retry",
-                error=error,
-                attempt=job.attempts,
-                backoff_ms=backoff,
-            )
-        self.sim.schedule(backoff, self._requeue_job, job)
-        return True
-
-    def _requeue_job(self, job: "_MediaJob") -> None:
-        """Backoff expiry: put the job back in line (unless now offline)."""
-        if self.offline:
-            self._abort_job(job, DISK_FAILED)
-            return
-        self.scheduler.push(
-            self._geometry.cylinder_of(job.start), job, self.sim.now
+        stats = self.stats = ControllerStats()
+        track = self.trace_track
+        n_blocks = drive.geometry.n_blocks
+        self.completion = Completion(sim, bus, block_size, stats, tracer, track)
+        self.cachepath = CachePath(cache, self.pinned, stats, tracer, track)
+        self.planner = ReadAheadPlanner(readahead, n_blocks, stats, tracer, track)
+        self.media = MediaPath(
+            disk_id, sim, drive, scheduler, self.cachepath, self.planner,
+            self.completion, stats, dispatch_recheck=dispatch_recheck,
+            anticipatory_wait_ms=anticipatory_wait_ms, tracer=tracer, track=track,
         )
-        self._kick()
-
-    def _media_error(
-        self, job: "_MediaJob", duration: float, error: Optional[str]
-    ) -> Optional[str]:
-        """Classify a media completion; returns the effective error.
-
-        Counts transient errors, converts an over-deadline completion
-        into a timeout when the retry policy sets one, and returns
-        ``None`` for a clean completion.
-        """
-        retry = self.retry
-        if (
-            error is None
-            and retry is not None
-            and retry.command_timeout_ms > 0
-            and duration > retry.command_timeout_ms
-        ):
-            error = TIMEOUT
-            self.stats.command_timeouts += 1
-        elif error == MEDIA_ERROR:
-            self.stats.media_errors += 1
-        return error
-
-    # ------------------------------------------------------------------
-    # host command entry point
-    # ------------------------------------------------------------------
+        self.frontend = Frontend(
+            disk_id, sim, n_blocks, self.cachepath, self.media,
+            self.completion, stats, tracer, track,
+        )
 
     def submit(self, cmd: DiskCommand) -> None:
         """Accept a host command; completion fires ``cmd.on_complete``."""
-        if cmd.disk_id != self.disk_id:
-            raise SimulationError(
-                f"command for disk {cmd.disk_id} sent to controller {self.disk_id}"
-            )
-        if cmd.end_block > self._geometry.n_blocks:
-            raise SimulationError(
-                f"command {cmd!r} extends past the end of disk {self.disk_id}"
-            )
-        cmd.issued_at = self.sim.now
-        self.stats.commands += 1
-        self.stats.blocks_requested += cmd.n_blocks
-        if self.tracer.enabled:
-            cmd.trace_span = self.tracer.begin(
-                self.trace_track,
-                "write" if cmd.is_write else "read",
-                start=cmd.start_block,
-                blocks=cmd.n_blocks,
-                stream=cmd.stream_id,
-            )
-        if cmd.is_write:
-            self.stats.write_commands += 1
-        else:
-            self.stats.read_commands += 1
-        if self.offline:
-            self._fail_command(cmd, DISK_FAILED)
-            return
-        if cmd.is_write:
-            self._handle_write(cmd)
-        else:
-            self._handle_read(cmd)
+        self.frontend.submit(cmd)
 
-    # ------------------------------------------------------------------
-    # read path
-    # ------------------------------------------------------------------
-
-    def _split_read(self, cmd: DiskCommand) -> List[int]:
-        """Classify the command's blocks; returns the missing ones.
-
-        Pinned blocks are HDC hits; the rest go through the main cache's
-        ``missing()`` (which updates hit/miss statistics).
-        """
-        pinned = self.pinned
-        plain: List[int] = []
-        n_pinned = 0
-        for b in cmd.blocks():
-            if pinned.is_pinned(b):
-                pinned.note_read_hit(b)
-                n_pinned += 1
-            else:
-                plain.append(b)
-        self.stats.hdc_block_hits += n_pinned
-        if not plain:
-            return []
-        return self.cache.missing(plain)
-
-    def _handle_read(self, cmd: DiskCommand) -> None:
-        misses = self._split_read(cmd)
-        if not misses:
-            self.stats.full_cache_hits += 1
-            cmd.served_from_cache = True
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    self.trace_track, "cache.full-hit", blocks=cmd.n_blocks
-                )
-            self._deliver_read(cmd)
-            return
-        cylinder = self._geometry.cylinder_of(misses[0])
-        span_len = misses[-1] + 1 - misses[0]
-        job = _MediaJob(_MediaJob.READ, cmd, misses[0], span_len)
-        # Anticipatory fast path: this is exactly the request the media
-        # has been held idle for — dispatch it ahead of the queue.
-        if (
-            self._wait_event is not None
-            and cmd.stream_id == self._last_read_stream
-            and not self.drive.busy
-        ):
-            self._cancel_wait()
-            if not self._dispatch_read(job):
-                self._kick()
-            return
-        self.scheduler.push(cylinder, job, self.sim.now)
-        self._kick()
-
-    def _deliver_read(self, cmd: DiskCommand) -> None:
-        """Mark consumption and move the data to the host over the bus."""
-        self.cache.access(
-            b for b in cmd.blocks() if not self.pinned.is_pinned(b)
-        )
-        self.bus.transfer(
-            cmd.n_blocks * self.block_size, self._finish_after_bus, cmd
-        )
-
-    def _finish_after_bus(self, cmd: DiskCommand) -> None:
-        """Completion continuation: stamps the time at bus-transfer end."""
-        self._finish_cmd(cmd)
-
-    def _finish_cmd(self, cmd: DiskCommand) -> None:
-        """Close the command's lifecycle span and fire its continuation."""
-        if cmd.trace_span:
-            self.tracer.end(
-                self.trace_track,
-                "write" if cmd.is_write else "read",
-                cmd.trace_span,
-                cached=cmd.served_from_cache,
-            )
-            cmd.trace_span = 0
-        cmd.finish(self.sim.now)
-
-    # ------------------------------------------------------------------
-    # write path
-    # ------------------------------------------------------------------
-
-    def _handle_write(self, cmd: DiskCommand) -> None:
-        pinned = self.pinned
-        plain: List[int] = []
-        n_pinned = 0
-        for b in cmd.blocks():
-            if pinned.is_pinned(b):
-                pinned.write(b)
-                n_pinned += 1
-            else:
-                plain.append(b)
-        self.stats.hdc_block_hits += n_pinned
-        self.stats.hdc_write_absorbed += n_pinned
-        # Host consumption semantics: freshly written blocks are the
-        # least likely to be re-read (the host caches them itself).
-        self.cache.access(b for b in plain if self.cache.contains(b))
-
-        runs = _contiguous_runs(plain)
-
-        def _after_bus() -> None:
-            if not runs:
-                self._finish_cmd(cmd)
-                return
-            remaining = len(runs)
-
-            def _run_done() -> None:
-                nonlocal remaining
-                remaining -= 1
-                if remaining == 0:
-                    self._finish_cmd(cmd)
-
-            for start, length in runs:
-                job = _MediaJob(
-                    _MediaJob.WRITE_RUN, cmd, start, length, on_done=_run_done
-                )
-                self.scheduler.push(
-                    self._geometry.cylinder_of(start), job, self.sim.now
-                )
-            self._kick()
-
-        # Data moves host -> controller first, then to the media.
-        self.bus.transfer(cmd.n_blocks * self.block_size, _after_bus)
-
-    # ------------------------------------------------------------------
-    # HDC host commands (§5)
-    # ------------------------------------------------------------------
+    # -- HDC host commands (§5) -----------------------------------------
 
     def pin_blocks(
         self,
@@ -435,39 +110,17 @@ class DiskController:
         load is instantaneous, modelling pinning done before the
         measured period, as in the paper's evaluation.
         """
-        block_list = sorted(set(blocks))
-        self.pinned.pin_many(block_list)
-        self.stats.pins_loaded += len(block_list)
-        for b in block_list:
-            self.cache.invalidate(b)  # pinned region owns the block now
-        if not timed:
-            if on_complete is not None:
-                self.sim.schedule(0.0, on_complete)
-            return
-        runs = _contiguous_runs(block_list)
+        block_list = self.cachepath.pin_blocks(blocks)
+        runs = contiguous_runs(block_list) if timed else []
         if not runs:
             if on_complete is not None:
                 self.sim.schedule(0.0, on_complete)
             return
-        remaining = len(runs)
-
-        def _run_done() -> None:
-            nonlocal remaining
-            remaining -= 1
-            if remaining == 0 and on_complete is not None:
-                on_complete()
-
-        for start, length in runs:
-            job = _MediaJob(
-                _MediaJob.INTERNAL_READ, None, start, length, on_done=_run_done
-            )
-            self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
-        self._kick()
+        self.media.enqueue_runs(runs, MediaJob.INTERNAL_READ, None, on_complete)
 
     def unpin_blocks(self, blocks: Iterable[int]) -> None:
         """``unpin_blk`` for a batch (blocks must be clean)."""
-        for b in blocks:
-            self.pinned.unpin(b)
+        self.cachepath.unpin_blocks(blocks)
 
     def flush_hdc(self, on_complete: Optional[Callable[[], None]] = None) -> int:
         """``flush_hdc``: write all dirty pinned blocks to the media.
@@ -475,239 +128,68 @@ class DiskController:
         Returns the number of blocks flushed; ``on_complete`` fires when
         the last write lands.
         """
-        dirty = sorted(self.pinned.flush())
-        self.stats.flush_commands += 1
-        self.stats.flush_blocks_written += len(dirty)
+        dirty = self.cachepath.flush_dirty()
         if not dirty:
             if on_complete is not None:
                 self.sim.schedule(0.0, on_complete)
             return 0
-        runs = _contiguous_runs(dirty)
-        remaining = len(runs)
-
-        def _run_done() -> None:
-            nonlocal remaining
-            remaining -= 1
-            if remaining == 0 and on_complete is not None:
-                on_complete()
-
-        for start, length in runs:
-            job = _MediaJob(
-                _MediaJob.INTERNAL_WRITE, None, start, length, on_done=_run_done
-            )
-            self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
-        self._kick()
+        runs = contiguous_runs(dirty)
+        self.media.enqueue_runs(runs, MediaJob.INTERNAL_WRITE, None, on_complete)
         return len(dirty)
 
-    # ------------------------------------------------------------------
-    # media service loop
-    # ------------------------------------------------------------------
-
-    def _kick(self) -> None:
-        """Dispatch queued jobs while the media is idle."""
-        while not self.drive.busy and self.scheduler:
-            if self._should_anticipate():
-                return
-            req = self.scheduler.pop(self.drive.head_cylinder)
-            if req is None:  # pragma: no cover - defensive
-                break
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    self.trace_track,
-                    "queue.dispatch",
-                    wait_ms=self.sim.now - req.enqueued_at,
-                    depth=len(self.scheduler),
-                )
-            job: _MediaJob = req.payload
-            if job.kind == _MediaJob.READ:
-                if self._dispatch_read(job):
-                    return  # media now busy
-                # else: satisfied from cache while queued; keep looping
-            else:
-                self._dispatch_rest(job)
-                return
-
-    def _should_anticipate(self) -> bool:
-        """Whether to hold the media idle waiting for the last reader.
-
-        True while the anticipation window is open and the scheduler's
-        best candidate belongs to a different stream; arranges a wake-up
-        at the window's end. A candidate from the anticipated stream
-        closes the window and dispatches immediately.
-        """
-        if self.anticipatory_wait_ms <= 0 or self._last_read_stream < 0:
-            return False
-        now = self.sim.now
-        if now >= self._anticipate_deadline:
-            self._cancel_wait()
-            self._last_read_stream = -1
-            return False
-        candidate = self.scheduler.peek(self.drive.head_cylinder)
-        job: Optional[_MediaJob] = candidate.payload if candidate else None
-        if (
-            job is not None
-            and job.kind == _MediaJob.READ
-            and job.cmd is not None
-            and job.cmd.stream_id == self._last_read_stream
-        ):
-            self._cancel_wait()
-            return False  # the awaited request arrived: dispatch it
-        if self._wait_event is None:
-            self.stats.anticipation_waits += 1
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    self.trace_track,
-                    "anticipate.wait",
-                    stream=self._last_read_stream,
-                    window_ms=self._anticipate_deadline - now,
-                )
-            self._wait_event = self.sim.schedule(
-                self._anticipate_deadline - now, self._end_anticipation
-            )
-        return True
-
-    def _end_anticipation(self) -> None:
-        self._wait_event = None
-        self._last_read_stream = -1
-        self._kick()
-
-    def _cancel_wait(self) -> None:
-        # _end_anticipation clears _wait_event before doing anything
-        # else, but Simulator.cancel also tolerates fired handles, so a
-        # stale reference here cannot corrupt the event queue's count.
-        if self._wait_event is not None:
-            self.sim.cancel(self._wait_event)
-            self._wait_event = None
-
-    def _dispatch_read(self, job: _MediaJob) -> bool:
-        """Start the media read for ``job``; False if now fully cached."""
-        cmd = job.cmd
-        assert cmd is not None
-        cache, pinned = self.cache, self.pinned
-        if self.dispatch_recheck:
-            misses = [
-                b
-                for b in cmd.blocks()
-                if not pinned.is_pinned(b) and not cache.contains(b)
-            ]
-            if not misses:
-                self.stats.dispatch_cache_hits += 1
-                cmd.served_from_cache = True
-                if self.tracer.enabled:
-                    self.tracer.instant(
-                        self.trace_track,
-                        "dispatch.cache-hit",
-                        blocks=cmd.n_blocks,
-                    )
-                self._deliver_read(cmd)
-                return False
-            span_start = misses[0]
-            span_len = misses[-1] + 1 - span_start
-        else:
-            # Paper semantics: the cache was consulted at arrival only;
-            # the media read covers the span recorded at enqueue time.
-            span_start = job.start
-            span_len = job.n_blocks
-        read_size = self.readahead.read_size(
-            span_start, span_len, self._geometry.n_blocks
-        )
-        self.stats.media_reads += 1
-        self.stats.media_blocks_read += read_size
-        self.stats.readahead_blocks += read_size - span_len
-        if self.tracer.enabled and read_size > span_len:
-            self.tracer.instant(
-                self.trace_track,
-                "readahead.extend",
-                requested=span_len,
-                extra=read_size - span_len,
-            )
-
-        def _done(error: Optional[str] = None) -> None:
-            error = self._media_error(job, duration, error)
-            if error is not None:
-                if not self._retry_media(job, error):
-                    self._abort_job(job, DISK_FAILED if self.offline else error)
-                self._kick()  # media is free during the backoff
-                return
-            fill = [
-                b
-                for b in range(span_start, span_start + read_size)
-                if not pinned.is_pinned(b)
-            ]
-            cache.fill(fill, stream_hint=cmd.stream_id)
-            if self.anticipatory_wait_ms > 0 and cmd.stream_id >= 0:
-                self._last_read_stream = cmd.stream_id
-                self._anticipate_deadline = (
-                    self.sim.now + self.anticipatory_wait_ms
-                )
-            self._deliver_read(cmd)
-            self._kick()
-
-        duration = self.drive.execute(span_start, read_size, False, _done)
-        return True
-
-    def _dispatch_rest(self, job: _MediaJob) -> None:
-        """Start a media write run or an internal (flush/pin) operation."""
-        is_write = job.kind in (_MediaJob.WRITE_RUN, _MediaJob.INTERNAL_WRITE)
-        if is_write:
-            self.stats.media_writes += 1
-            self.stats.media_blocks_written += job.n_blocks
-        else:
-            self.stats.media_reads += 1
-            self.stats.media_blocks_read += job.n_blocks
-
-        def _done(error: Optional[str] = None) -> None:
-            error = self._media_error(job, duration, error)
-            if error is not None:
-                if not self._retry_media(job, error):
-                    self._abort_job(job, DISK_FAILED if self.offline else error)
-                self._kick()
-                return
-            if job.on_done is not None:
-                job.on_done()
-            self._kick()
-
-        duration = self.drive.execute(job.start, job.n_blocks, is_write, _done)
-
-    # ------------------------------------------------------------------
-    # internal media operations (rebuild streams)
-    # ------------------------------------------------------------------
+    # -- internal media operations (rebuild streams) ---------------------
 
     def internal_read(
-        self,
-        start: int,
-        n_blocks: int,
-        on_done: Optional[Callable[[], None]] = None,
+        self, start: int, n_blocks: int, on_done: Optional[Callable[[], None]] = None
     ) -> None:
-        """Queue a controller-internal media read (no host command).
-
-        Used by RAID rebuild streams to pull source data; competes with
-        host traffic through the normal scheduler.
-        """
-        job = _MediaJob(_MediaJob.INTERNAL_READ, None, start, n_blocks, on_done)
-        self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
-        self._kick()
+        """Queue a controller-internal media read (RAID rebuild source);
+        competes with host traffic through the normal scheduler."""
+        self.media.enqueue_internal(MediaJob.INTERNAL_READ, start, n_blocks, on_done)
 
     def internal_write(
-        self,
-        start: int,
-        n_blocks: int,
-        on_done: Optional[Callable[[], None]] = None,
+        self, start: int, n_blocks: int, on_done: Optional[Callable[[], None]] = None
     ) -> None:
         """Queue a controller-internal media write (no host command)."""
-        job = _MediaJob(_MediaJob.INTERNAL_WRITE, None, start, n_blocks, on_done)
-        self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
-        self._kick()
+        self.media.enqueue_internal(MediaJob.INTERNAL_WRITE, start, n_blocks, on_done)
 
-    # ------------------------------------------------------------------
+    # -- fault injection --------------------------------------------------
+
+    def attach_faults(self, injector, retry, slow_factor: float = 1.0) -> None:
+        """Enable fault handling (see :meth:`MediaPath.attach_faults`)."""
+        self.media.attach_faults(injector, retry, slow_factor)
+
+    def fault_transition(self, event: str, disk: int) -> None:
+        """Fault-runtime listener (see :meth:`MediaPath.fault_transition`)."""
+        self.media.fault_transition(event, disk)
+
+    @property
+    def faults(self):
+        """This disk's :class:`FaultInjector` (``None`` without faults)."""
+        return self.media.faults
+
+    @property
+    def retry(self):
+        """This disk's :class:`RetryPolicy` (``None`` without faults)."""
+        return self.media.retry
+
+    @property
+    def offline(self) -> bool:
+        """Whether this disk is inside a whole-disk failure window."""
+        return self.media.offline
+
+    @property
+    def anticipatory_wait_ms(self) -> float:
+        """The anticipation window (0 disables anticipatory idling)."""
+        return self.media.anticipatory_wait_ms
+
+    @property
+    def queue_length(self) -> int:
+        """Media operations waiting behind the current one."""
+        return self.media.queue_length
 
     def sync_drive_times(self) -> None:
-        """Copy the drive's per-phase busy-time totals into ``stats``.
-
-        Idempotent (assignment, not accumulation); called before stats
-        are read so :class:`ControllerStats` carries the media
-        time-in-state split alongside its event counters.
-        """
+        """Copy the drive's per-phase busy-time totals into ``stats``;
+        idempotent (assignment, not accumulation)."""
         drive = self.drive
         stats = self.stats
         stats.seek_ms = drive.seek_time_total
@@ -715,8 +197,3 @@ class DiskController:
         stats.transfer_ms = drive.transfer_time_total
         stats.overhead_ms = drive.overhead_time_total
         stats.media_busy_ms = drive.busy_time
-
-    @property
-    def queue_length(self) -> int:
-        """Media operations waiting behind the current one."""
-        return len(self.scheduler)

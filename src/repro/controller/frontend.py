@@ -1,0 +1,122 @@
+"""Stage 1 — Frontend: admission, accounting, read/write splitting.
+
+The entry stage of the controller pipeline. Host commands are
+validated, stamped and counted here, then routed: reads are classified
+against the cache/HDC (stage 2) and either delivered straight from the
+cache or queued for the media (stage 4); writes absorb into the HDC,
+cross the bus host → controller, and fan out as contiguous media runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.controller.cachepath import CachePath
+from repro.controller.commands import DiskCommand
+from repro.controller.completion import Completion
+from repro.controller.mediapath import MediaJob, MediaPath
+from repro.controller.stats import ControllerStats
+from repro.errors import SimulationError
+from repro.faults.injector import DISK_FAILED
+from repro.obs.tracer import NULL_TRACER
+from repro.sim.engine import Simulator
+
+
+def contiguous_runs(blocks: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group sorted block numbers into (start, length) runs."""
+    runs: List[Tuple[int, int]] = []
+    start = prev = None
+    for b in blocks:
+        if start is None:
+            start = prev = b
+        elif b == prev + 1:
+            prev = b
+        else:
+            runs.append((start, prev - start + 1))
+            start = prev = b
+    if start is not None:
+        runs.append((start, prev - start + 1))
+    return runs
+
+
+class Frontend:
+    """The admission stage of one disk controller."""
+
+    def __init__(
+        self,
+        disk_id: int,
+        sim: Simulator,
+        disk_blocks: int,
+        cachepath: CachePath,
+        media: MediaPath,
+        completion: Completion,
+        stats: ControllerStats,
+        tracer: Any = NULL_TRACER,
+        track: str = "",
+    ):
+        self.disk_id = disk_id
+        self.sim = sim
+        self.disk_blocks = disk_blocks
+        self.cachepath = cachepath
+        self.media = media
+        self.completion = completion
+        self.stats = stats
+        self.tracer = tracer
+        self.track = track
+
+    def submit(self, cmd: DiskCommand) -> None:
+        """Accept a host command; completion fires ``cmd.on_complete``."""
+        if cmd.disk_id != self.disk_id:
+            raise SimulationError(
+                f"command for disk {cmd.disk_id} sent to controller {self.disk_id}"
+            )
+        if cmd.end_block > self.disk_blocks:
+            raise SimulationError(
+                f"command {cmd!r} extends past the end of disk {self.disk_id}"
+            )
+        cmd.issued_at = self.sim.now
+        self.stats.commands += 1
+        self.stats.blocks_requested += cmd.n_blocks
+        if self.tracer.enabled:
+            cmd.trace_span = self.tracer.begin(
+                self.track,
+                "write" if cmd.is_write else "read",
+                start=cmd.start_block,
+                blocks=cmd.n_blocks,
+                stream=cmd.stream_id,
+            )
+        if cmd.is_write:
+            self.stats.write_commands += 1
+        else:
+            self.stats.read_commands += 1
+        if self.media.offline:
+            self.completion.fail_async(cmd, DISK_FAILED)
+            return
+        if cmd.is_write:
+            self._handle_write(cmd)
+        else:
+            self._handle_read(cmd)
+
+    def _handle_read(self, cmd: DiskCommand) -> None:
+        misses = self.cachepath.split_read(cmd)
+        if not misses:
+            self.cachepath.note_full_hit(cmd)
+            self.cachepath.mark_consumed(cmd)
+            self.completion.send_read(cmd)
+            return
+        self.media.enqueue_read(cmd, misses)
+
+    def _handle_write(self, cmd: DiskCommand) -> None:
+        plain = self.cachepath.absorb_write(cmd)
+        runs = contiguous_runs(plain)
+
+        def _after_bus() -> None:
+            if not runs:
+                self.completion.finish(cmd)
+                return
+            self.media.enqueue_runs(
+                runs, MediaJob.WRITE_RUN, cmd, lambda: self.completion.finish(cmd)
+            )
+
+        # Data moves host -> controller first, then to the media.
+        self.completion.receive_write(cmd, _after_bus)

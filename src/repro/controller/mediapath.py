@@ -1,0 +1,427 @@
+"""Stage 4 — MediaPath: job queue, dispatch, anticipation, faults.
+
+Everything between "this command needs the media" and "the media
+operation completed" lives here: the :class:`MediaJob` queue ordered by
+the configured scheduling discipline, the service loop that dispatches
+jobs while the media is idle, anticipatory scheduling (Iyer & Druschel,
+the paper's ref. [15]), and the fault machinery — transient-error
+retries with bounded backoff, command timeouts, and whole-disk
+failure/recovery transitions.
+
+Downstream stages are injected: the cache path handles the dispatch
+re-check and media fills, the read-ahead planner sizes media reads, and
+the completion stage carries finished data back to the host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.controller.cachepath import CachePath
+from repro.controller.commands import DiskCommand
+from repro.controller.completion import Completion
+from repro.controller.stats import ControllerStats
+from repro.disk.drive import DiskDrive
+from repro.faults.injector import DISK_FAILED, MEDIA_ERROR, TIMEOUT
+from repro.obs.tracer import NULL_TRACER
+from repro.readahead.planner import ReadAheadPlanner
+from repro.scheduling.base import IOScheduler
+from repro.sim.engine import Simulator
+
+
+class MediaJob:
+    """One queued media operation (host read, write run, or flush run)."""
+
+    __slots__ = ("kind", "cmd", "start", "n_blocks", "on_done", "attempts")
+
+    READ = 0
+    WRITE_RUN = 1
+    INTERNAL_WRITE = 2
+    INTERNAL_READ = 3
+
+    def __init__(
+        self,
+        kind: int,
+        cmd: Optional[DiskCommand],
+        start: int,
+        n_blocks: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ):
+        self.kind = kind
+        self.cmd = cmd
+        self.start = start
+        self.n_blocks = n_blocks
+        self.on_done = on_done
+        #: Retries already consumed by this job (fault mode only).
+        self.attempts = 0
+
+
+class MediaPath:
+    """The media-service stage of one disk controller."""
+
+    def __init__(
+        self,
+        disk_id: int,
+        sim: Simulator,
+        drive: DiskDrive,
+        scheduler: IOScheduler,
+        cachepath: CachePath,
+        planner: ReadAheadPlanner,
+        completion: Completion,
+        stats: ControllerStats,
+        dispatch_recheck: bool = False,
+        anticipatory_wait_ms: float = 0.0,
+        tracer: Any = NULL_TRACER,
+        track: str = "",
+    ):
+        self.disk_id = disk_id
+        self.sim = sim
+        self.drive = drive
+        self.scheduler = scheduler
+        self.cachepath = cachepath
+        self.planner = planner
+        self.completion = completion
+        self.stats = stats
+        self.dispatch_recheck = dispatch_recheck
+        #: Anticipatory scheduling: after completing a read for stream
+        #: ``s``, keep the media idle up to this long when the best
+        #: queued candidate belongs to a different stream — ``s``'s next
+        #: sequential request usually arrives within the window and
+        #: avoids the deceptive-idleness seek away and back. 0 disables.
+        self.anticipatory_wait_ms = anticipatory_wait_ms
+        self.tracer = tracer
+        self.track = track
+        self._geometry = drive.geometry
+        self._last_read_stream = -1
+        self._anticipate_deadline = 0.0
+        self._wait_event = None
+        #: Per-disk :class:`~repro.faults.injector.FaultInjector` and
+        #: :class:`~repro.faults.profile.RetryPolicy`; both ``None``
+        #: (the default) keeps every fault check a single ``is None``
+        #: test on the fast path.
+        self.faults = None
+        self.retry = None
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, injector, retry, slow_factor: float = 1.0) -> None:
+        """Enable fault handling: consult ``injector``, retry per ``retry``.
+
+        Also forwards the injector (and the profile's slow-response
+        stretch factor) to the drive.
+        """
+        self.faults = injector
+        self.retry = retry
+        self.drive.attach_faults(injector, slow_factor)
+
+    @property
+    def offline(self) -> bool:
+        """Whether this disk is inside a whole-disk failure window."""
+        return self.faults is not None and self.faults.failed
+
+    def fault_transition(self, event: str, disk: int) -> None:
+        """Fault-runtime listener: react to this disk failing/recovering.
+
+        On failure every queued job is failed upward (an in-flight media
+        operation is allowed to finish — its completion handler sees
+        ``offline`` and fails rather than retrying); on recovery the
+        service loop restarts for anything queued meanwhile.
+        """
+        if disk != self.disk_id:
+            return
+        if event == "fail":
+            self._cancel_wait()
+            self._last_read_stream = -1
+            if self.tracer.enabled:
+                self.tracer.instant(self.track, "fault.disk-failed")
+            while self.scheduler:
+                req = self.scheduler.pop(self.drive.head_cylinder)
+                if req is None:  # pragma: no cover - defensive
+                    break
+                self._abort_job(req.payload, DISK_FAILED)
+        elif event == "recover":
+            if self.tracer.enabled:
+                self.tracer.instant(self.track, "fault.disk-recovered")
+            self._kick()
+
+    def _abort_job(self, job: MediaJob, error: str) -> None:
+        """Fail a queued/retried job upward without touching the media."""
+        cmd = job.cmd
+        if job.kind == MediaJob.READ:
+            assert cmd is not None
+            cmd.error = error
+            self.stats.failed_commands += 1
+            self.completion.finish(cmd)  # no data: completes without the bus
+            return
+        if cmd is not None and cmd.error is None:  # first failed write run
+            cmd.error = error
+            self.stats.failed_commands += 1
+        if job.on_done is not None:
+            job.on_done()
+
+    def _retry_media(self, job: MediaJob, error: str) -> bool:
+        """Schedule a bounded-backoff retry of ``job``; False if exhausted."""
+        retry = self.retry
+        if retry is None or job.attempts >= retry.max_retries or self.offline:
+            return False
+        job.attempts += 1
+        self.stats.media_retries += 1
+        backoff = retry.backoff_ms(job.attempts)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track,
+                "fault.retry",
+                error=error,
+                attempt=job.attempts,
+                backoff_ms=backoff,
+            )
+        self.sim.schedule(backoff, self._requeue_job, job)
+        return True
+
+    def _requeue_job(self, job: MediaJob) -> None:
+        """Backoff expiry: put the job back in line (unless now offline)."""
+        if self.offline:
+            self._abort_job(job, DISK_FAILED)
+            return
+        self.scheduler.push(
+            self._geometry.cylinder_of(job.start), job, self.sim.now
+        )
+        self._kick()
+
+    def _media_error(
+        self, job: MediaJob, duration: float, error: Optional[str]
+    ) -> Optional[str]:
+        """Classify a media completion; returns the effective error.
+
+        Counts transient errors, converts an over-deadline completion
+        into a timeout when the retry policy sets one, and returns
+        ``None`` for a clean completion.
+        """
+        retry = self.retry
+        if (
+            error is None
+            and retry is not None
+            and retry.command_timeout_ms > 0
+            and duration > retry.command_timeout_ms
+        ):
+            error = TIMEOUT
+            self.stats.command_timeouts += 1
+        elif error == MEDIA_ERROR:
+            self.stats.media_errors += 1
+        return error
+
+    # ------------------------------------------------------------------
+    # enqueue entry points
+    # ------------------------------------------------------------------
+
+    def enqueue_read(self, cmd: DiskCommand, misses: List[int]) -> None:
+        """Queue a host read whose ``misses`` must come off the media."""
+        cylinder = self._geometry.cylinder_of(misses[0])
+        span_len = misses[-1] + 1 - misses[0]
+        job = MediaJob(MediaJob.READ, cmd, misses[0], span_len)
+        # Anticipatory fast path: this is exactly the request the media
+        # has been held idle for — dispatch it ahead of the queue.
+        if (
+            self._wait_event is not None
+            and cmd.stream_id == self._last_read_stream
+            and not self.drive.busy
+        ):
+            self._cancel_wait()
+            if not self._dispatch_read(job):
+                self._kick()
+            return
+        self.scheduler.push(cylinder, job, self.sim.now)
+        self._kick()
+
+    def enqueue_runs(
+        self,
+        runs: Sequence[Tuple[int, int]],
+        kind: int,
+        cmd: Optional[DiskCommand],
+        on_all_done: Optional[Callable[[], None]],
+    ) -> None:
+        """Queue a batch of media runs with a fan-in completion.
+
+        ``on_all_done`` fires synchronously when the last run's media
+        operation lands (or is aborted). ``runs`` must be non-empty.
+        """
+        remaining = len(runs)
+
+        def _run_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_all_done is not None:
+                on_all_done()
+
+        for start, length in runs:
+            job = MediaJob(kind, cmd, start, length, on_done=_run_done)
+            self.scheduler.push(
+                self._geometry.cylinder_of(start), job, self.sim.now
+            )
+        self._kick()
+
+    def enqueue_internal(
+        self,
+        kind: int,
+        start: int,
+        n_blocks: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue one controller-internal media run (rebuild streams)."""
+        job = MediaJob(kind, None, start, n_blocks, on_done)
+        self.scheduler.push(self._geometry.cylinder_of(start), job, self.sim.now)
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # media service loop
+    # ------------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Dispatch queued jobs while the media is idle."""
+        while not self.drive.busy and self.scheduler:
+            if self._should_anticipate():
+                return
+            req = self.scheduler.pop(self.drive.head_cylinder)
+            if req is None:  # pragma: no cover - defensive
+                break
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.track,
+                    "queue.dispatch",
+                    wait_ms=self.sim.now - req.enqueued_at,
+                    depth=len(self.scheduler),
+                )
+            job: MediaJob = req.payload
+            if job.kind == MediaJob.READ:
+                if self._dispatch_read(job):
+                    return  # media now busy
+                # else: satisfied from cache while queued; keep looping
+            else:
+                self._dispatch_rest(job)
+                return
+
+    def _should_anticipate(self) -> bool:
+        """Whether to hold the media idle waiting for the last reader.
+
+        True while the anticipation window is open and the scheduler's
+        best candidate belongs to a different stream; arranges a wake-up
+        at the window's end. A candidate from the anticipated stream
+        closes the window and dispatches immediately.
+        """
+        if self.anticipatory_wait_ms <= 0 or self._last_read_stream < 0:
+            return False
+        now = self.sim.now
+        if now >= self._anticipate_deadline:
+            self._cancel_wait()
+            self._last_read_stream = -1
+            return False
+        candidate = self.scheduler.peek(self.drive.head_cylinder)
+        job: Optional[MediaJob] = candidate.payload if candidate else None
+        if (
+            job is not None
+            and job.kind == MediaJob.READ
+            and job.cmd is not None
+            and job.cmd.stream_id == self._last_read_stream
+        ):
+            self._cancel_wait()
+            return False  # the awaited request arrived: dispatch it
+        if self._wait_event is None:
+            self.stats.anticipation_waits += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.track,
+                    "anticipate.wait",
+                    stream=self._last_read_stream,
+                    window_ms=self._anticipate_deadline - now,
+                )
+            self._wait_event = self.sim.schedule(
+                self._anticipate_deadline - now, self._end_anticipation
+            )
+        return True
+
+    def _end_anticipation(self) -> None:
+        self._wait_event = None
+        self._last_read_stream = -1
+        self._kick()
+
+    def _cancel_wait(self) -> None:
+        # _end_anticipation clears _wait_event before doing anything
+        # else, but Simulator.cancel also tolerates fired handles, so a
+        # stale reference here cannot corrupt the event queue's count.
+        if self._wait_event is not None:
+            self.sim.cancel(self._wait_event)
+            self._wait_event = None
+
+    def _deliver(self, cmd: DiskCommand) -> None:
+        """Hand a fully cached/filled read to the completion stage."""
+        self.cachepath.mark_consumed(cmd)
+        self.completion.send_read(cmd)
+
+    def _dispatch_read(self, job: MediaJob) -> bool:
+        """Start the media read for ``job``; False if now fully cached."""
+        cmd = job.cmd
+        assert cmd is not None
+        if self.dispatch_recheck:
+            misses = self.cachepath.recheck(cmd)
+            if misses is None:
+                self._deliver(cmd)
+                return False
+            span_start = misses[0]
+            span_len = misses[-1] + 1 - span_start
+        else:
+            # Paper semantics: the cache was consulted at arrival only;
+            # the media read covers the span recorded at enqueue time.
+            span_start = job.start
+            span_len = job.n_blocks
+        read_size = self.planner.plan(span_start, span_len)
+        self.stats.media_reads += 1
+        self.stats.media_blocks_read += read_size
+
+        def _done(error: Optional[str] = None) -> None:
+            error = self._media_error(job, duration, error)
+            if error is not None:
+                if not self._retry_media(job, error):
+                    self._abort_job(job, DISK_FAILED if self.offline else error)
+                self._kick()  # media is free during the backoff
+                return
+            self.cachepath.fill_from_media(span_start, read_size, cmd.stream_id)
+            if self.anticipatory_wait_ms > 0 and cmd.stream_id >= 0:
+                self._last_read_stream = cmd.stream_id
+                self._anticipate_deadline = (
+                    self.sim.now + self.anticipatory_wait_ms
+                )
+            self._deliver(cmd)
+            self._kick()
+
+        duration = self.drive.execute(span_start, read_size, False, _done)
+        return True
+
+    def _dispatch_rest(self, job: MediaJob) -> None:
+        """Start a media write run or an internal (flush/pin) operation."""
+        is_write = job.kind in (MediaJob.WRITE_RUN, MediaJob.INTERNAL_WRITE)
+        if is_write:
+            self.stats.media_writes += 1
+            self.stats.media_blocks_written += job.n_blocks
+        else:
+            self.stats.media_reads += 1
+            self.stats.media_blocks_read += job.n_blocks
+
+        def _done(error: Optional[str] = None) -> None:
+            error = self._media_error(job, duration, error)
+            if error is not None:
+                if not self._retry_media(job, error):
+                    self._abort_job(job, DISK_FAILED if self.offline else error)
+                self._kick()
+                return
+            if job.on_done is not None:
+                job.on_done()
+            self._kick()
+
+        duration = self.drive.execute(job.start, job.n_blocks, is_write, _done)
+
+    @property
+    def queue_length(self) -> int:
+        """Media operations waiting behind the current one."""
+        return len(self.scheduler)

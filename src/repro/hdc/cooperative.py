@@ -24,7 +24,6 @@ from typing import Counter as CounterT, Dict, List, Optional, Tuple
 
 from repro.array.array import DiskArray
 from repro.array.striping import StripingLayout
-from repro.controller.commands import DiskCommand
 from repro.errors import ConfigError
 
 

@@ -14,11 +14,8 @@ from typing import List, Optional, Sequence
 from repro.array.array import DiskArray
 from repro.array.striping import StripingLayout
 from repro.bus.scsi import ScsiBus
-from repro.cache.base import ControllerCache
-from repro.cache.block import BlockCache
 from repro.cache.pinned import PinnedRegion
-from repro.cache.segment import SegmentCache
-from repro.config import CacheOrganization, ReadAheadKind, SimConfig
+from repro.config import ReadAheadKind, SimConfig
 from repro.controller.controller import DiskController
 from repro.disk.drive import DiskDrive
 from repro.errors import ConfigError
@@ -27,11 +24,8 @@ from repro.faults.plan import FaultPlan
 from repro.faults.profile import active_fault_profile
 from repro.mechanics.service import ServiceTimeModel
 from repro.obs.tracer import active_tracer
-from repro.readahead.base import ReadAheadPolicy
 from repro.readahead.bitmap import SequentialityBitmap
-from repro.readahead.blind import BlindReadAhead
-from repro.readahead.file_oriented import FileOrientedReadAhead
-from repro.readahead.none import NoReadAhead
+from repro.registry import make_cache, make_readahead
 from repro.scheduling.factory import make_scheduler
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -84,8 +78,8 @@ class System:
                 deterministic_rotation=deterministic_rotation,
             )
             drive = DiskDrive(disk_id, self.sim, service, tracer=self.tracer)
-            cache = self._make_cache(disk_id)
-            readahead = self._make_readahead(disk_id)
+            cache = make_cache(config, disk_id, self.streams)
+            readahead = make_readahead(config, disk_id, self.bitmaps)
             controller = DiskController(
                 disk_id=disk_id,
                 sim=self.sim,
@@ -111,32 +105,6 @@ class System:
         if profile is not None and profile.any_faults:
             plan = FaultPlan.generate(profile, config.array.n_disks, config.seed)
             FaultRuntime.attach(self, plan, config.retry)
-
-    # -- component factories -----------------------------------------------
-
-    def _make_cache(self, disk_id: int) -> ControllerCache:
-        cfg = self.config
-        if cfg.cache.organization is CacheOrganization.SEGMENT:
-            return SegmentCache(
-                n_segments=cfg.effective_segments,
-                segment_blocks=cfg.cache.segment_blocks,
-                policy=cfg.cache.segment_policy,
-                rng=self.streams.stream(f"disk{disk_id}.segcache"),
-            )
-        return BlockCache(
-            capacity_blocks=cfg.effective_cache_blocks,
-            policy=cfg.cache.block_policy,
-        )
-
-    def _make_readahead(self, disk_id: int) -> ReadAheadPolicy:
-        cfg = self.config
-        ra_blocks = cfg.cache.segment_blocks
-        if cfg.readahead is ReadAheadKind.BLIND:
-            return BlindReadAhead(ra_blocks)
-        if cfg.readahead is ReadAheadKind.NONE:
-            return NoReadAhead()
-        assert self.bitmaps is not None
-        return FileOrientedReadAhead(self.bitmaps[disk_id], ra_blocks)
 
     # -- convenience -------------------------------------------------------
 

@@ -5,6 +5,7 @@ from repro.readahead.blind import BlindReadAhead
 from repro.readahead.none import NoReadAhead
 from repro.readahead.bitmap import SequentialityBitmap
 from repro.readahead.file_oriented import FileOrientedReadAhead
+from repro.readahead.planner import ReadAheadPlanner
 
 __all__ = [
     "ReadAheadPolicy",
@@ -12,4 +13,5 @@ __all__ = [
     "NoReadAhead",
     "SequentialityBitmap",
     "FileOrientedReadAhead",
+    "ReadAheadPlanner",
 ]

@@ -1,0 +1,50 @@
+"""Read-ahead planning stage: policy decision plus accounting.
+
+The :class:`ReadAheadPlanner` completes the extraction of read-ahead
+out of the controller: the policy objects in this package decide *how
+far* to extend a media read, the planner owns the surrounding
+bookkeeping — clamping context (device size), the read-ahead statistics
+and the ``readahead.extend`` tracer instant — that previously lived
+inline in the controller's dispatch path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.tracer import NULL_TRACER
+from repro.readahead.base import ReadAheadPolicy
+
+
+class ReadAheadPlanner:
+    """Plans the media-read span for a missing run."""
+
+    def __init__(
+        self,
+        policy: ReadAheadPolicy,
+        disk_blocks: int,
+        stats: Any,
+        tracer: Any = NULL_TRACER,
+        track: str = "",
+    ):
+        """``stats`` is the owning controller's ``ControllerStats``
+        (duck-typed to keep this layer independent of the controller
+        package)."""
+        self.policy = policy
+        self.disk_blocks = disk_blocks
+        self.stats = stats
+        self.tracer = tracer
+        self.track = track
+
+    def plan(self, span_start: int, span_len: int) -> int:
+        """Total blocks the media read should cover (``>= span_len``)."""
+        read_size = self.policy.read_size(span_start, span_len, self.disk_blocks)
+        self.stats.readahead_blocks += read_size - span_len
+        if self.tracer.enabled and read_size > span_len:
+            self.tracer.instant(
+                self.track,
+                "readahead.extend",
+                requested=span_len,
+                extra=read_size - span_len,
+            )
+        return read_size

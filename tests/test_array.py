@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.config import ArrayParams, CacheParams, DiskParams, make_config
 from repro.errors import SimulationError
 from repro.host.system import System
-from repro.units import KB, MB
+from repro.units import KB
 
 
 @pytest.fixture

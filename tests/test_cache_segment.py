@@ -123,6 +123,49 @@ def test_invalidate_last_block_drops_segment(cache):
     assert cache.segments_in_use == 0
 
 
+def test_invalidate_emptied_segment_accounts_eviction(cache):
+    """Regression: draining a segment via invalidate() must route
+    through the normal drop path — eviction stats and the
+    ``cache.evict`` tracer instant used to be silently skipped."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    cache.attach_tracer(tracer, "t")
+    cache.fill([7, 8], stream_hint=0)
+    cache.access([7])
+    cache.invalidate(7)
+    assert cache.stats.evictions == 0  # segment still holds block 8
+    cache.invalidate(8)
+    assert cache.segments_in_use == 0
+    assert cache.stats.evictions == 1
+    # Invalidated blocks left one at a time are not *evicted* unused —
+    # pollution accounting stays clean, but the drop itself is visible.
+    assert cache.stats.useless_evictions == 0
+    evicts = [e for e in tracer.events if e[3] == "cache.evict"]
+    assert len(evicts) == 1
+    assert evicts[0][7]["stream"] == 0
+
+
+def test_invalidate_emptied_segment_frees_slot_and_stream(cache):
+    """The drained segment's slot and stream binding are fully
+    released: the stream gets a fresh segment and no stale slot keeps
+    a later victim search alive."""
+    cache.fill([7], stream_hint=0)
+    cache.invalidate(7)
+    # The stream's binding is gone: a new fill allocates cleanly ...
+    cache.fill([20, 21], stream_hint=0)
+    assert cache.segments_in_use == 1
+    assert cache.contains(20)
+    # ... and capacity accounting is exact: three more streams force
+    # exactly one replacement eviction (the cache has 3 segments; the
+    # earlier invalidate-drop already counted one eviction).
+    cache.fill([30], stream_hint=1)
+    cache.fill([40], stream_hint=2)
+    cache.fill([50], stream_hint=3)
+    assert cache.segments_in_use == 3
+    assert cache.stats.evictions == 2
+
+
 def test_duplicate_fill_is_idempotent(cache):
     cache.fill([1, 2], stream_hint=0)
     cache.fill([1, 2], stream_hint=1)

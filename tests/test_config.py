@@ -1,6 +1,5 @@
 """Configuration validation and Table 1 derived quantities."""
 
-import dataclasses
 
 import pytest
 

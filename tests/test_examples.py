@@ -1,7 +1,6 @@
 """The example scripts: importable, and their helpers behave."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.experiments.servers import (
     HDC_SIZES_KB,

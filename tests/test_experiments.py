@@ -1,6 +1,5 @@
 """Experiment plumbing: techniques, runner, series containers, CLI."""
 
-import math
 
 import pytest
 

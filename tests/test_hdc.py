@@ -9,7 +9,7 @@ from repro.hdc.planner import plan_pin_sets
 from repro.hdc.profiler import BlockAccessProfiler
 from repro.hdc.victim import VictimCacheManager
 from repro.host.system import System
-from repro.units import KB, MB
+from repro.units import KB
 from repro.workloads.trace import DiskAccess, Trace, TraceMeta
 
 

@@ -3,11 +3,8 @@
 import pytest
 
 from repro.config import (
-    ArrayParams,
-    BlockPolicy,
     CacheOrganization,
     ReadAheadKind,
-    make_config,
 )
 from repro.errors import ConfigError, WorkloadError
 from repro.fs.bitmap_builder import build_bitmaps

@@ -1,0 +1,62 @@
+"""The import-layering contract, enforced as a tier-1 test.
+
+Runs :mod:`tools.check_layering` in-process so the staged-pipeline
+boundaries (stage order, no private cross-imports, slim facade, cache
+policy isolation, controller-free read-ahead) fail the suite — not
+just CI lint — the moment they are violated.
+"""
+
+import importlib.util
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_layering.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_layering", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_layering_is_clean(capsys):
+    checker = load_checker()
+    assert checker.main() == 0, capsys.readouterr().err
+
+
+def test_checker_sees_the_real_tree():
+    """Guard against the checker silently scanning nothing."""
+    checker = load_checker()
+    stage_files = [
+        checker.SRC / "repro" / "controller" / f"{stem}.py"
+        for stem in checker.STAGE_ORDER
+    ]
+    assert all(p.is_file() for p in stage_files)
+
+
+def test_checker_flags_violations(tmp_path, monkeypatch):
+    """A planted upstream import is caught (the rules have teeth)."""
+    checker = load_checker()
+    src = tmp_path / "src"
+    ctrl = src / "repro" / "controller"
+    ctrl.mkdir(parents=True)
+    (ctrl / "completion.py").write_text(
+        "from repro.controller.frontend import Frontend\n"
+    )
+    (ctrl / "frontend.py").write_text("")
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_stage_order(errors)
+    assert len(errors) == 1 and "non-downstream" in errors[0]
+
+
+def test_checker_flags_private_cross_import(tmp_path, monkeypatch):
+    checker = load_checker()
+    src = tmp_path / "src"
+    pkg = src / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "leaky.py").write_text("from repro.other import _secret\n")
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_private_imports(errors)
+    assert len(errors) == 1 and "_secret" in errors[0]

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Import-layering checker for the staged controller pipeline.
+
+Enforced rules (AST-level, no imports executed):
+
+1. **Stage order** — within ``repro.controller`` the stages may only
+   import strictly *downstream* stage modules:
+   ``completion`` < ``cachepath`` < ``mediapath`` < ``frontend`` <
+   ``controller`` (the facade). ``commands`` and ``stats`` are shared
+   leaves importable by every stage.
+2. **No private cross-imports** — no module anywhere under ``src/``
+   imports an underscore-prefixed name from another module.
+3. **Facade stays slim** — ``controller/controller.py`` is at most
+   200 lines.
+4. **Cache policies are siblings** — ``cache/block.py``,
+   ``cache/segment.py`` and ``cache/pinned.py`` never import each
+   other (they share ``cache/base.py`` and ``cache/core.py``).
+5. **Read-ahead is controller-free** — nothing in ``repro.readahead``
+   imports ``repro.controller`` (the planner is duck-typed).
+
+Run from the repository root: ``python tools/check_layering.py``.
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Stage modules in dependency order; each may import only strictly
+#: earlier stages (plus the shared leaves).
+STAGE_ORDER = ["completion", "cachepath", "mediapath", "frontend", "controller"]
+SHARED_LEAVES = {"commands", "stats"}
+
+CACHE_POLICIES = {"block", "segment", "pinned"}
+
+FACADE_MAX_LINES = 200
+
+
+def iter_imports(tree: ast.AST) -> Iterator[Tuple[str, List[str]]]:
+    """Yield (module, [imported names]) for every import statement."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, []
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve later if needed
+                continue
+            yield node.module or "", [a.name for a in node.names]
+
+
+def check_stage_order(errors: List[str]) -> None:
+    controller_dir = SRC / "repro" / "controller"
+    for path in sorted(controller_dir.glob("*.py")):
+        stem = path.stem
+        if stem not in STAGE_ORDER:
+            continue
+        rank = STAGE_ORDER.index(stem)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if not module.startswith("repro.controller."):
+                continue
+            target = module.split(".")[2]
+            if target in SHARED_LEAVES or target == stem:
+                continue
+            if target not in STAGE_ORDER:
+                errors.append(
+                    f"{path}: imports unknown controller module {module}"
+                )
+            elif STAGE_ORDER.index(target) >= rank:
+                errors.append(
+                    f"{path}: stage '{stem}' imports non-downstream "
+                    f"stage '{target}' (order: {' < '.join(STAGE_ORDER)})"
+                )
+
+
+def check_private_imports(errors: List[str]) -> None:
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, names in iter_imports(tree):
+            if not module.startswith("repro"):
+                continue
+            for name in names:
+                if name.startswith("_") and not name.startswith("__"):
+                    errors.append(
+                        f"{path}: imports private name '{name}' from {module}"
+                    )
+
+
+def check_facade_size(errors: List[str]) -> None:
+    facade = SRC / "repro" / "controller" / "controller.py"
+    n_lines = len(facade.read_text().splitlines())
+    if n_lines > FACADE_MAX_LINES:
+        errors.append(
+            f"{facade}: facade is {n_lines} lines "
+            f"(budget: {FACADE_MAX_LINES}) — move logic into a stage"
+        )
+
+
+def check_cache_policy_isolation(errors: List[str]) -> None:
+    cache_dir = SRC / "repro" / "cache"
+    for stem in CACHE_POLICIES:
+        path = cache_dir / f"{stem}.py"
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if not module.startswith("repro.cache."):
+                continue
+            target = module.split(".")[2]
+            if target in CACHE_POLICIES and target != stem:
+                errors.append(
+                    f"{path}: cache policy '{stem}' imports sibling "
+                    f"policy '{target}' (share via base/core instead)"
+                )
+
+
+def check_readahead_independence(errors: List[str]) -> None:
+    for path in sorted((SRC / "repro" / "readahead").glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if module.startswith("repro.controller"):
+                errors.append(
+                    f"{path}: readahead must not depend on the "
+                    f"controller package (imports {module})"
+                )
+
+
+def main() -> int:
+    errors: List[str] = []
+    check_stage_order(errors)
+    check_private_imports(errors)
+    check_facade_size(errors)
+    check_cache_policy_isolation(errors)
+    check_readahead_independence(errors)
+    if errors:
+        print(f"layering check: {len(errors)} violation(s)", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print("layering check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
