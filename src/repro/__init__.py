@@ -79,6 +79,7 @@ from repro.faults import (
     uninstall_fault_profile,
 )
 from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
+from repro.host.openloop import OpenLoopDriver
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
 from repro.metrics.collector import RunResult
@@ -101,7 +102,14 @@ from repro.sim.engine import Simulator
 from repro.workloads.fileserver import FileServerSpec, FileServerWorkload
 from repro.workloads.proxy import ProxyServerSpec, ProxyServerWorkload
 from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
-from repro.workloads.trace import DiskAccess, Trace, TraceMeta
+from repro.workloads.trace import (
+    DiskAccess,
+    TimedAccess,
+    Trace,
+    TraceMeta,
+    open_trace,
+    save_trace,
+)
 from repro.workloads.webserver import WebServerSpec, WebServerWorkload
 
 __version__ = "1.0.0"
@@ -144,6 +152,7 @@ __all__ = [
     "System",
     "Simulator",
     "ReplayDriver",
+    "OpenLoopDriver",
     "RunResult",
     "FileSystemLayout",
     "build_bitmaps",
@@ -186,8 +195,11 @@ __all__ = [
     "spans_time_in_state",
     # workloads
     "DiskAccess",
+    "TimedAccess",
     "Trace",
     "TraceMeta",
+    "open_trace",
+    "save_trace",
     "SyntheticSpec",
     "SyntheticWorkload",
     "WebServerSpec",

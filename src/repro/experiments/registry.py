@@ -32,6 +32,7 @@ from repro.experiments import (
     fig12,
     table1,
     table2,
+    trace_replay,
     validation,
 )
 
@@ -54,6 +55,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "validation": validation.main,
     "ext_frag": ext_frag.main,
     "availability": availability.main,
+    "trace_replay": trace_replay.main,
 }
 
 #: run(scale=..., seed=...) entry points (programmatic access).
@@ -75,6 +77,7 @@ RUNNERS: Dict[str, Callable] = {
     "validation": validation.run,
     "ext_frag": ext_frag.run,
     "availability": availability.run,
+    "trace_replay": trace_replay.run,
 }
 
 
@@ -112,4 +115,5 @@ SWEEPS: Dict[str, SweepSpec] = {
     "validation": SweepSpec(None),
     "ext_frag": SweepSpec("frag_points", tuple(ext_frag.FRAG_POINTS)),
     "availability": SweepSpec("mtbf_s", tuple(availability.MTBF_S)),
+    "trace_replay": SweepSpec("techniques", tuple(trace_replay.TECHNIQUE_KEYS)),
 }

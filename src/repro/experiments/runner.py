@@ -19,6 +19,7 @@ from repro.fs.layout import FileSystemLayout
 from repro.hdc.manager import HdcManager
 from repro.hdc.planner import HdcPlan, plan_pin_sets
 from repro.hdc.profiler import BlockAccessProfiler
+from repro.host.openloop import OpenLoopDriver
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
 from repro.metrics.collector import RunResult, collect_run_result
@@ -93,8 +94,15 @@ class TechniqueRunner:
         hdc_pin_fraction: float = 1.0,
         on_record_complete=None,
         keep_raw_latencies: bool = True,
+        open_loop: bool = False,
+        accel: float = 1.0,
     ) -> RunResult:
         """Replay the workload under ``technique``; returns the result.
+
+        ``open_loop=True`` selects the open-loop replay engine
+        (:class:`~repro.host.openloop.OpenLoopDriver`): records issue
+        at their trace timestamps, time-warped by ``accel``, instead of
+        the closed-loop ``n_streams`` model — the trace must be timed.
 
         The end-of-run ``flush_hdc`` (when HDC is active and
         ``flush_at_end``) is included in the reported I/O time, matching
@@ -136,14 +144,24 @@ class TechniqueRunner:
             )
             manager.setup(timed=False)
 
-        driver = ReplayDriver(
-            system,
-            self.trace,
-            n_streams=n_streams,
-            coalesce_prob=coalesce_prob,
-            on_record_complete=on_record_complete,
-            keep_raw_latencies=keep_raw_latencies,
-        )
+        if open_loop:
+            driver: ReplayDriver = OpenLoopDriver(
+                system,
+                self.trace,
+                accel=accel,
+                coalesce_prob=coalesce_prob,
+                on_record_complete=on_record_complete,
+                keep_raw_latencies=keep_raw_latencies,
+            )
+        else:
+            driver = ReplayDriver(
+                system,
+                self.trace,
+                n_streams=n_streams,
+                coalesce_prob=coalesce_prob,
+                on_record_complete=on_record_complete,
+                keep_raw_latencies=keep_raw_latencies,
+            )
         elapsed = driver.run()
         if manager is not None and flush_at_end:
             manager.finish()

@@ -1,0 +1,122 @@
+"""Open-loop trace replay: issue requests at their trace timestamps.
+
+The closed-loop :class:`~repro.host.streams.ReplayDriver` measures
+*capacity* — ``t`` streams hammer the array as fast as completions
+allow, which is the paper's "replayed as fast as possible" §6.1 setup.
+An ingested real trace also carries *when* each request arrived, which
+asks the complementary question: what latency does the system deliver
+under the offered load? This driver answers it by scheduling record
+``i``'s issue at ``(t_i - t_0) / accel`` simulated ms, regardless of
+how many earlier records are still in flight.
+
+``accel`` > 1 time-warps the trace (arrivals compressed, offered load
+multiplied) so a lightly-loaded capture can still push the simulated
+array toward saturation; ``accel`` < 1 stretches it. Decomposition,
+read-merging, latency accounting and fault handling are shared with
+the closed-loop driver — only the admission discipline differs.
+
+Each admission emits a ``replay.admit`` tracer instant (record index +
+in-flight depth) on the host track, so a Perfetto timeline shows the
+offered-load process alongside the service pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import WorkloadError
+from repro.host.streams import HOST_TRACK, ReplayDriver
+from repro.host.system import System
+from repro.workloads.trace import DiskAccess, Trace
+
+
+class OpenLoopDriver(ReplayDriver):
+    """Replays a *timed* trace at its own arrival times."""
+
+    def __init__(
+        self,
+        system: System,
+        trace: Trace,
+        accel: float = 1.0,
+        coalesce_prob: Optional[float] = None,
+        on_record_complete: Optional[Callable[[DiskAccess], None]] = None,
+        keep_raw_latencies: bool = True,
+        array=None,
+        striping=None,
+    ):
+        super().__init__(
+            system,
+            trace,
+            n_streams=1,  # unused: admission is timestamp-driven
+            coalesce_prob=coalesce_prob,
+            on_record_complete=on_record_complete,
+            keep_raw_latencies=keep_raw_latencies,
+            array=array,
+            striping=striping,
+        )
+        if accel <= 0:
+            raise WorkloadError(f"accel must be positive, got {accel}")
+        self.accel = accel
+        self.records_admitted = 0
+        if self._timestamp_of(trace[0]) is None:
+            raise WorkloadError(
+                "open-loop replay needs a timed trace (TimedAccess records "
+                "with timestamps — convert one with `python -m repro.ingest`)"
+            )
+
+    @staticmethod
+    def _timestamp_of(record: DiskAccess) -> Optional[float]:
+        return getattr(record, "timestamp_ms", None)
+
+    @property
+    def in_flight(self) -> int:
+        """Records admitted but not yet completed."""
+        return self.records_admitted - self.records_completed
+
+    # -- admission pump ------------------------------------------------
+
+    def run(self) -> float:
+        """Replay the whole trace; returns the total I/O time in ms."""
+        sim = self.system.sim
+        start = sim.now
+        sim.schedule(0.0, self._arrive)
+        total = len(self.trace)
+        while self.records_completed < total:
+            if not sim.step():
+                raise WorkloadError(
+                    f"replay stalled: {self.records_completed}/{total} "
+                    "records completed (event queue drained early)"
+                )
+        self.finish_time = sim.now
+        return sim.now - start
+
+    def _arrive(self) -> None:
+        index = self._next_index
+        record = self.trace[index]
+        self._next_index += 1
+        # Chain the next arrival first so same-instant arrivals issue
+        # in trace order and the event queue stays one arrival deep.
+        if self._next_index < len(self.trace):
+            ts = self._timestamp_of(record)
+            next_ts = self._timestamp_of(self.trace[self._next_index])
+            if ts is None or next_ts is None:
+                raise WorkloadError(
+                    f"record {self._next_index} has no timestamp — "
+                    "open-loop replay needs a fully timed trace"
+                )
+            # Clamp: capture reordering may put a straggler first.
+            delay = max(0.0, (next_ts - ts) / self.accel)
+            self.system.sim.schedule(delay, self._arrive)
+        self.records_admitted += 1
+        tracer = self.system.tracer
+        if tracer.enabled:
+            tracer.instant(
+                HOST_TRACK,
+                "replay.admit",
+                record=index,
+                in_flight=self.in_flight,
+            )
+        self._issue_record(record, stream_id=index)
+
+    def _start_next(self, stream_id: int) -> None:
+        """Completions never pull the next record in an open loop."""

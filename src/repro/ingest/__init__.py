@@ -1,0 +1,55 @@
+"""repro.ingest — real-trace ingestion and replay.
+
+Turns block-I/O logs captured on real machines into simulator
+workloads. The pipeline:
+
+1. **Parse** — streaming, generator-based format adapters
+   (:mod:`~repro.ingest.blktrace`, :mod:`~repro.ingest.msr`,
+   :mod:`~repro.ingest.fio`) normalize each source line into a
+   :class:`~repro.workloads.trace.TimedAccess` (timestamp + block runs
+   + read/write flag). Inputs may be gzip-compressed; parsers hold one
+   line at a time, so multi-GB captures stream in constant memory.
+   :func:`~repro.ingest.detect.detect_format` sniffs the format from
+   the first lines.
+2. **Remap** — :class:`~repro.ingest.remap.AddressRemapper` folds or
+   scales raw device offsets into the simulated array's logical block
+   space, and :func:`~repro.ingest.remap.infer_layout` reconstructs a
+   plausible file layout from the trace's spatial runs so
+   :func:`repro.fs.bitmap_builder.build_bitmaps` can still derive FOR
+   sequentiality bitmaps.
+3. **Replay** — converted traces drive either the existing closed-loop
+   :class:`~repro.host.streams.ReplayDriver` or the open-loop
+   :class:`~repro.host.openloop.OpenLoopDriver` (issue at trace
+   timestamps, optionally time-warped).
+4. **Characterize** — :func:`~repro.ingest.characterize.characterize`
+   summarises interarrivals, read/write mix, sequentiality, footprint
+   and reuse distance into a golden-diffable report.
+
+The CLI (``python -m repro.ingest convert|stats|replay``) chains the
+stages; :mod:`repro.experiments.trace_replay` sweeps the paper's
+techniques over an ingested trace.
+
+Layering: ingest depends on :mod:`repro.workloads` and :mod:`repro.fs`
+only — never on the controller (enforced by
+``tools/check_layering.py``).
+"""
+
+from repro.ingest.blktrace import parse_blktrace
+from repro.ingest.characterize import WorkloadCharacterization, characterize
+from repro.ingest.detect import detect_format, parse_source
+from repro.ingest.fio import parse_fio
+from repro.ingest.msr import parse_msr
+from repro.ingest.remap import AddressRemapper, infer_layout, scan_bounds
+
+__all__ = [
+    "AddressRemapper",
+    "WorkloadCharacterization",
+    "characterize",
+    "detect_format",
+    "infer_layout",
+    "parse_blktrace",
+    "parse_fio",
+    "parse_msr",
+    "parse_source",
+    "scan_bounds",
+]

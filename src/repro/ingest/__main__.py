@@ -1,0 +1,8 @@
+"""``python -m repro.ingest`` entry point."""
+
+import sys
+
+from repro.ingest.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Adapter for blktrace/blkparse default text output.
+
+One event per line::
+
+    8,0    3      11     0.009584588   697  Q   W 223490 + 8 [kjournald]
+
+i.e. device ``major,minor``, CPU, sequence number, timestamp in
+seconds, PID, action, RWBS flags, then ``sector + sector_count`` and
+the process name. A capture contains every queue stage (Q/G/I/D/C...);
+one request must be counted once, so the parser keeps a single
+``action`` (default ``"Q"`` — what the host submitted, before the
+elevator had its say) and skips the rest, along with blkparse's
+trailing per-CPU/total summary sections (which don't start with a
+``major,minor`` token).
+
+Lines that *do* start with a device token but then fail to parse are
+real corruption and raise :class:`~repro.errors.WorkloadError` with
+the line number.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from repro.ingest.base import (
+    Source,
+    bytes_to_run,
+    check_block_size,
+    iter_lines,
+    parse_error,
+)
+from repro.workloads.trace import TimedAccess
+
+SECTOR_SIZE = 512
+
+_DEVICE_RE = re.compile(r"^\d+,\d+$")
+
+
+def parse_blktrace(
+    source: Source,
+    block_size: int = 4096,
+    action: str = "Q",
+    device: Optional[str] = None,
+) -> Iterator[TimedAccess]:
+    """Yield :class:`TimedAccess` records from blkparse text output.
+
+    ``action`` selects which queue stage to count (``"Q"`` queued,
+    ``"D"`` issued, ``"C"`` completed, ...); ``device`` optionally
+    restricts to one ``"major,minor"``. Timestamps are re-zeroed to the
+    first emitted record. Discards, flushes and zero-sector events are
+    skipped.
+    """
+    check_block_size(block_size)
+    t0: Optional[float] = None
+    for lineno, line in iter_lines(source):
+        fields = line.split()
+        if len(fields) < 7 or not _DEVICE_RE.match(fields[0]):
+            continue  # header, summary table, or blank line
+        if device is not None and fields[0] != device:
+            continue
+        act = fields[5]
+        if act != action:
+            continue
+        rwbs = fields[6]
+        if "W" in rwbs:
+            is_write = True
+        elif "R" in rwbs:
+            is_write = False
+        else:
+            continue  # flush/discard-only event
+        if len(fields) < 10 or fields[8] != "+":
+            raise parse_error(
+                source, lineno, f"expected 'sector + count' after action {act!r}", line
+            )
+        try:
+            timestamp_s = float(fields[3])
+            sector = int(fields[7])
+            n_sectors = int(fields[9])
+        except ValueError:
+            raise parse_error(source, lineno, "non-numeric event fields", line) from None
+        if n_sectors <= 0:
+            continue
+        if sector < 0 or timestamp_s < 0:
+            raise parse_error(source, lineno, "negative sector or timestamp", line)
+        if t0 is None:
+            t0 = timestamp_s
+        run = bytes_to_run(sector * SECTOR_SIZE, n_sectors * SECTOR_SIZE, block_size)
+        # Clamp: per-CPU capture buffers can reorder events slightly,
+        # so an event may predate the first one emitted.
+        yield TimedAccess(
+            [run], is_write, timestamp_ms=max(0.0, (timestamp_s - t0) * 1000.0)
+        )

@@ -1,0 +1,87 @@
+"""Format autodetection and the one-call parse dispatcher."""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator, Tuple
+
+from repro.errors import WorkloadError
+from repro.ingest.base import Source, iter_lines, source_name
+from repro.ingest.blktrace import parse_blktrace
+from repro.ingest.fio import parse_fio
+from repro.ingest.msr import parse_msr
+from repro.workloads.trace import DiskAccess, TraceMeta, open_trace
+
+#: Formats :func:`parse_source` understands (plus ``"auto"``).
+FORMATS = ("blktrace", "msr", "fio", "jsonl")
+
+_BLKTRACE_DEV_RE = re.compile(r"^\d+,\d+$")
+
+
+def sniff_lines(lines) -> str:
+    """Classify a source from its first few non-blank lines."""
+    for line in itertools.islice((ln for _n, ln in lines), 0, 8):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("fio version"):
+            return "fio"
+        if line.startswith("{"):
+            return "jsonl"
+        fields = line.split(",")
+        if len(fields) >= 6 and (
+            fields[0].isdigit() or fields[0].lower() == "timestamp"
+        ):
+            return "msr"
+        if _BLKTRACE_DEV_RE.match(line.split()[0]):
+            return "blktrace"
+    raise WorkloadError("unrecognized trace format")
+
+
+def detect_format(source: Source) -> str:
+    """Sniff the trace format of ``source`` (path or line iterable).
+
+    Recognizes the fio iolog header, our own JSONL format, MSR-style
+    CSV and blkparse event lines; anything else raises
+    :class:`~repro.errors.WorkloadError`.
+    """
+    try:
+        return sniff_lines(iter_lines(source))
+    except WorkloadError as exc:
+        raise WorkloadError(f"{source_name(source)}: {exc}") from None
+
+
+def parse_source(
+    path, fmt: str = "auto", block_size: int = 4096, **opts
+) -> Tuple[str, Iterator[DiskAccess]]:
+    """Parse ``path`` in the named (or sniffed) format.
+
+    Returns ``(format, record_iterator)``. ``opts`` are forwarded to
+    the format's parser (``action=``/``device=`` for blktrace,
+    ``disk_number=`` for msr). JSONL input replays our own saved
+    traces, timed or not; its stored block size wins over
+    ``block_size``.
+    """
+    if fmt == "auto":
+        fmt = detect_format(path)
+    if fmt == "blktrace":
+        return fmt, parse_blktrace(path, block_size=block_size, **opts)
+    if fmt == "msr":
+        return fmt, parse_msr(path, block_size=block_size, **opts)
+    if fmt == "fio":
+        return fmt, parse_fio(path, block_size=block_size, **opts)
+    if fmt == "jsonl":
+        _meta, records = open_trace(path)
+        return fmt, records
+    raise WorkloadError(
+        f"unknown trace format {fmt!r} (expected one of {', '.join(FORMATS)})"
+    )
+
+
+def source_meta(path, fmt: str) -> TraceMeta:
+    """The stored metadata for JSONL sources, a fresh default otherwise."""
+    if fmt == "jsonl":
+        meta, _records = open_trace(path)  # iterator GC closes the file
+        return meta
+    return TraceMeta(name=fmt)

@@ -1,0 +1,79 @@
+"""Adapter for MSR-Cambridge-style block-I/O CSV traces.
+
+The SNIA MSR-Cambridge corpus (Narayanan et al., "Write Off-Loading")
+logs one request per line::
+
+    Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+where ``Timestamp`` is a Windows FILETIME (100-ns ticks), ``Type`` is
+``Read``/``Write``, ``Offset`` and ``Size`` are bytes, and the
+trailing ``ResponseTime`` column may be absent in derived cuts. A
+header row repeating the column names is tolerated on the first line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ingest.base import (
+    Source,
+    bytes_to_run,
+    check_block_size,
+    iter_lines,
+    parse_error,
+)
+from repro.workloads.trace import TimedAccess
+
+#: Windows FILETIME ticks (100 ns) per millisecond.
+TICKS_PER_MS = 10_000
+
+
+def parse_msr(
+    source: Source,
+    block_size: int = 4096,
+    disk_number: Optional[int] = None,
+) -> Iterator[TimedAccess]:
+    """Yield :class:`TimedAccess` records from an MSR-style CSV.
+
+    ``disk_number`` optionally restricts to one of the host's disks.
+    Timestamps are re-zeroed to the first emitted record; out-of-order
+    stragglers clamp to 0.
+    """
+    check_block_size(block_size)
+    t0: Optional[int] = None
+    for lineno, line in iter_lines(source):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        if len(fields) < 6:
+            raise parse_error(source, lineno, "expected >= 6 CSV fields", line)
+        if lineno == 1 and not fields[0].isdigit():
+            continue  # column-name header row
+        kind = fields[3].strip().lower()
+        if kind == "read":
+            is_write = False
+        elif kind == "write":
+            is_write = True
+        else:
+            raise parse_error(
+                source, lineno, f"Type must be Read or Write, got {fields[3]!r}", line
+            )
+        try:
+            ticks = int(fields[0])
+            disk = int(fields[2])
+            offset = int(fields[4])
+            size = int(fields[5])
+        except ValueError:
+            raise parse_error(source, lineno, "non-numeric CSV fields", line) from None
+        if offset < 0 or size < 0:
+            raise parse_error(source, lineno, "negative offset or size", line)
+        if disk_number is not None and disk != disk_number:
+            continue
+        if t0 is None:
+            t0 = ticks
+        yield TimedAccess(
+            [bytes_to_run(offset, size, block_size)],
+            is_write,
+            timestamp_ms=max(0.0, (ticks - t0) / TICKS_PER_MS),
+        )

@@ -1,0 +1,185 @@
+"""Map raw device offsets into the simulated array's logical space.
+
+Captured traces address the *capturing* machine's disks — offsets up
+to hundreds of GB, sparse, and unrelated to the 8×Ultrastar array the
+simulator models. Two remapping modes make them replayable:
+
+* ``fold`` — wrap each run at the array capacity
+  (``start % capacity``). O(1), single-pass, preserves request sizes
+  and short-range locality; distant regions alias, which is exactly
+  the footprint compression wanted when a 500-GB trace must exercise a
+  144-GB array.
+* ``scale`` — linearly compress the trace's observed address span onto
+  the array. Needs the span first (:func:`scan_bounds`, a separate
+  streaming pass), preserves the *relative* layout of hot regions, and
+  keeps request sizes unscaled so per-request service times stay
+  honest.
+
+:func:`infer_layout` reconstructs a plausible
+:class:`~repro.fs.layout.FileSystemLayout` from the remapped trace's
+spatial runs — contiguous (gap-tolerant) block regions become "files"
+— so :func:`repro.fs.bitmap_builder.build_bitmaps` can derive FOR
+sequentiality bitmaps for workloads that never had a file system
+description.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.fs.files import Extent, FileInfo
+from repro.fs.layout import FileSystemLayout
+from repro.workloads.trace import DiskAccess, TimedAccess
+
+REMAP_MODES = ("fold", "scale", "none")
+
+
+def scan_bounds(records: Iterable[DiskAccess]) -> Tuple[int, int]:
+    """Lowest start and highest end block touched by ``records``.
+
+    The pre-pass ``scale`` remapping needs; streams in O(1) memory.
+    """
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    for record in records:
+        for start, length in record.runs:
+            if lo is None or start < lo:
+                lo = start
+            end = start + length
+            if hi is None or end > hi:
+                hi = end
+    if lo is None or hi is None:
+        raise WorkloadError("cannot scan an empty trace")
+    return lo, hi
+
+
+class AddressRemapper:
+    """Rewrites record runs into ``[0, total_blocks)``."""
+
+    def __init__(
+        self,
+        total_blocks: int,
+        mode: str = "fold",
+        source_bounds: Optional[Tuple[int, int]] = None,
+    ):
+        if total_blocks < 1:
+            raise WorkloadError(f"need >= 1 target block, got {total_blocks}")
+        if mode not in REMAP_MODES:
+            raise WorkloadError(
+                f"unknown remap mode {mode!r} (expected one of {', '.join(REMAP_MODES)})"
+            )
+        if mode == "scale":
+            if source_bounds is None:
+                raise WorkloadError(
+                    "scale remapping needs source_bounds (see scan_bounds)"
+                )
+            lo, hi = source_bounds
+            if hi <= lo:
+                raise WorkloadError(f"empty source bounds [{lo}, {hi})")
+        self.total_blocks = total_blocks
+        self.mode = mode
+        self.source_bounds = source_bounds
+
+    def map_run(self, start: int, length: int) -> List[Tuple[int, int]]:
+        """Remap one run; folding may split it at the wrap point."""
+        total = self.total_blocks
+        if length > total:
+            length = total  # a run larger than the array necessarily truncates
+        if self.mode == "scale":
+            lo, hi = self.source_bounds  # type: ignore[misc]
+            span = hi - lo
+            start = int((start - lo) * (total / span)) if span > total else start - lo
+            start = min(max(0, start), total - length)
+            return [(start, length)]
+        if self.mode == "none":
+            if start + length > total:
+                raise WorkloadError(
+                    f"run [{start}, {start + length}) outside the "
+                    f"{total}-block array (use fold or scale remapping)"
+                )
+            return [(start, length)]
+        start %= total
+        if start + length <= total:
+            return [(start, length)]
+        head = total - start
+        return [(start, head), (0, length - head)]
+
+    def map_record(self, record: DiskAccess) -> DiskAccess:
+        """Remap every run of ``record``, preserving its timestamp."""
+        runs: List[Tuple[int, int]] = []
+        for start, length in record.runs:
+            runs.extend(self.map_run(start, length))
+        timestamp = getattr(record, "timestamp_ms", None)
+        if timestamp is not None:
+            return TimedAccess(runs, record.is_write, timestamp_ms=timestamp)
+        return DiskAccess(runs, record.is_write)
+
+    def map_records(self, records: Iterable[DiskAccess]):
+        """Lazily remap a record stream."""
+        for record in records:
+            yield self.map_record(record)
+
+
+def _merge_intervals(
+    intervals: List[Tuple[int, int]], gap_blocks: int
+) -> List[Tuple[int, int]]:
+    """Sort and merge intervals, bridging gaps up to ``gap_blocks``."""
+    intervals.sort()
+    merged: List[Tuple[int, int]] = []
+    for start, end in intervals:
+        if merged and start - merged[-1][1] <= gap_blocks:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def infer_layout(
+    records: Iterable[DiskAccess],
+    total_blocks: int,
+    file_gap_blocks: int = 8,
+    max_file_blocks: int = 0,
+) -> FileSystemLayout:
+    """Infer a file layout from a trace's spatial runs.
+
+    Every accessed run becomes an interval; intervals separated by at
+    most ``file_gap_blocks`` unaccessed blocks are assumed to belong to
+    the same file (the gap being metadata or cold blocks of it), and
+    each merged region becomes one contiguous file. ``max_file_blocks``
+    (0 = unlimited) caps inferred file sizes, splitting oversized
+    regions — useful when a long sequential scan would otherwise fuse
+    half the trace into a single "file" and FOR's file-boundary stop
+    would never trigger.
+
+    The interval list is compacted periodically, so memory tracks the
+    trace's *footprint* (distinct regions), not its length.
+    """
+    if file_gap_blocks < 0:
+        raise WorkloadError(f"negative file gap {file_gap_blocks}")
+    if max_file_blocks < 0:
+        raise WorkloadError(f"negative max file size {max_file_blocks}")
+    intervals: List[Tuple[int, int]] = []
+    for record in records:
+        for start, length in record.runs:
+            intervals.append((start, start + length))
+        if len(intervals) >= 262_144:
+            intervals = _merge_intervals(intervals, file_gap_blocks)
+    merged = _merge_intervals(intervals, file_gap_blocks)
+    if not merged:
+        raise WorkloadError("cannot infer a layout from an empty trace")
+    if merged[0][0] < 0 or merged[-1][1] > total_blocks:
+        raise WorkloadError(
+            f"trace spans [{merged[0][0]}, {merged[-1][1]}) — remap it into "
+            f"the {total_blocks}-block array before inferring a layout"
+        )
+    files: List[FileInfo] = []
+    for start, end in merged:
+        while end - start > max_file_blocks > 0:
+            files.append(
+                FileInfo(len(files), [Extent(start, max_file_blocks)])
+            )
+            start += max_file_blocks
+        files.append(FileInfo(len(files), [Extent(start, end - start)]))
+    return FileSystemLayout(files, total_blocks)

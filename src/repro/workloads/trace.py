@@ -7,16 +7,39 @@ the file system fragmented the underlying file). Addresses are logical
 (array-level) so the same trace can be replayed under different
 striping units, exactly as the paper's Figs. 7/9/11 do.
 
-Traces serialize to a simple JSON-lines format for reuse across runs.
+A :class:`TimedAccess` additionally carries the request's arrival
+timestamp (simulated ms from trace start) — the extra bit of
+information real captured traces have that synthetic closed-loop
+replay never needed. Open-loop replay
+(:class:`repro.host.openloop.OpenLoopDriver`) requires it.
+
+Traces serialize to a simple JSON-lines format for reuse across runs:
+the first line is the metadata header, every further line one record
+(``{"r": [[start, len], ...], "w": 0|1}``, plus an optional ``"t"``
+timestamp key for timed records). Readers that predate the ``"t"`` key
+simply ignore it, and files without it still load — the format is
+backward- and forward-compatible. Paths ending in ``.gz`` are read and
+written gzip-compressed transparently, and both directions stream one
+record at a time so multi-gigabyte converted traces never have to fit
+in memory as text.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from collections import Counter
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
-from typing import Counter as CounterT, Iterable, List, Sequence, Tuple
+from typing import (
+    Counter as CounterT,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import WorkloadError
 
@@ -58,6 +81,34 @@ class DiskAccess:
 
     def __hash__(self) -> int:
         return hash((self.runs, self.is_write))
+
+
+class TimedAccess(DiskAccess):
+    """A :class:`DiskAccess` with an arrival timestamp (ms).
+
+    Timestamps are relative to the trace start (the converters re-zero
+    whatever clock the source log used). Equality/hashing stay those of
+    :class:`DiskAccess` — a timed record is the same *request* as its
+    untimed twin — so closed-loop replay and its read-merging treat
+    both identically.
+    """
+
+    __slots__ = ("timestamp_ms",)
+
+    def __init__(
+        self,
+        runs: Sequence[Tuple[int, int]],
+        is_write: bool = False,
+        timestamp_ms: float = 0.0,
+    ):
+        super().__init__(runs, is_write)
+        if timestamp_ms < 0:
+            raise WorkloadError(f"negative timestamp {timestamp_ms}")
+        self.timestamp_ms = float(timestamp_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "W" if self.is_write else "R"
+        return f"<TimedAccess {kind} t={self.timestamp_ms:.3f} {list(self.runs)}>"
 
 
 @dataclass
@@ -104,37 +155,112 @@ class Trace:
     # -- persistence -------------------------------------------------------
 
     def save(self, path) -> None:
-        """Write the trace as JSON lines (meta on the first line)."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as fh:
-            fh.write(json.dumps({"meta": asdict(self.meta)}) + "\n")
-            for record in self.records:
-                fh.write(
-                    json.dumps({"r": list(map(list, record.runs)),
-                                "w": int(record.is_write)})
-                    + "\n"
-                )
+        """Write the trace as JSON lines (meta on the first line).
+
+        Streams one record at a time (see :func:`save_trace`); a path
+        ending in ``.gz`` is written gzip-compressed.
+        """
+        save_trace(path, self.meta, self.records)
 
     @classmethod
     def load(cls, path) -> "Trace":
-        """Read a trace written by :meth:`save`."""
-        path = Path(path)
-        records: List[DiskAccess] = []
-        meta = TraceMeta()
-        with path.open("r", encoding="utf-8") as fh:
-            first = fh.readline()
-            if not first:
-                raise WorkloadError(f"empty trace file {path}")
+        """Read a trace written by :meth:`save` (or the converters)."""
+        meta, records = open_trace(path)
+        return cls(list(records), meta)
+
+
+# -- streaming persistence -------------------------------------------------
+
+
+def _open_text(path: Path, mode: str) -> io.TextIOBase:
+    """Open ``path`` for text I/O, gzip-transparent on a ``.gz`` suffix."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+def record_to_json(record: DiskAccess) -> str:
+    """One record's JSON-lines representation (no trailing newline)."""
+    obj: dict = {"r": list(map(list, record.runs)), "w": int(record.is_write)}
+    timestamp = getattr(record, "timestamp_ms", None)
+    if timestamp is not None:
+        obj["t"] = timestamp
+    return json.dumps(obj)
+
+
+def record_from_json(obj: dict) -> DiskAccess:
+    """Inverse of :func:`record_to_json` (on the parsed dict)."""
+    runs = [tuple(r) for r in obj["r"]]
+    is_write = bool(obj["w"])
+    if "t" in obj:
+        return TimedAccess(runs, is_write, timestamp_ms=float(obj["t"]))
+    return DiskAccess(runs, is_write)
+
+
+def save_trace(path, meta: TraceMeta, records: Iterable[DiskAccess]) -> int:
+    """Stream ``records`` to ``path`` as JSON lines; returns the count.
+
+    ``records`` may be any iterable — in particular a generator, so a
+    converted multi-GB trace is never materialized as a list. Timed
+    records gain the optional ``"t"`` key; plain ones serialize exactly
+    as before.
+    """
+    path = Path(path)
+    count = 0
+    with _open_text(path, "w") as fh:
+        fh.write(json.dumps({"meta": asdict(meta)}) + "\n")
+        for record in records:
+            fh.write(record_to_json(record) + "\n")
+            count += 1
+    return count
+
+
+def iter_trace_records(path) -> Iterator[DiskAccess]:
+    """Yield the records of a saved trace one at a time (skip the meta)."""
+    _meta, records = open_trace(path)
+    return records
+
+
+def open_trace(path) -> Tuple[TraceMeta, Iterator[DiskAccess]]:
+    """Open a saved trace: its metadata plus a lazy record iterator.
+
+    The iterator holds the file open until exhausted (or garbage
+    collected), reading one line at a time — constant memory however
+    large the trace. Malformed lines raise :class:`WorkloadError`
+    naming the offending line number.
+    """
+    path = Path(path)
+    fh = _open_text(path, "r")
+    try:
+        first = fh.readline()
+        if not first:
+            raise WorkloadError(f"empty trace file {path}")
+        try:
             head = json.loads(first)
-            if "meta" not in head:
-                raise WorkloadError(f"{path} missing meta header")
-            meta = TraceMeta(**head["meta"])
-            for line in fh:
-                obj = json.loads(line)
-                records.append(
-                    DiskAccess([tuple(r) for r in obj["r"]], bool(obj["w"]))
-                )
-        return cls(records, meta)
+        except ValueError as exc:
+            raise WorkloadError(f"{path} line 1: bad meta header: {exc}") from exc
+        if "meta" not in head:
+            raise WorkloadError(f"{path} missing meta header")
+        meta = TraceMeta(**head["meta"])
+    except BaseException:
+        fh.close()
+        raise
+
+    def _records() -> Iterator[DiskAccess]:
+        with fh:
+            for lineno, line in enumerate(fh, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    yield record_from_json(json.loads(line))
+                except WorkloadError as exc:
+                    raise WorkloadError(f"{path} line {lineno}: {exc}") from exc
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise WorkloadError(
+                        f"{path} line {lineno}: malformed record: {exc}"
+                    ) from exc
+
+    return meta, _records()
 
 
 def count_block_accesses(trace: Trace) -> CounterT[int]:

@@ -17,7 +17,14 @@ def load_example(name):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "web_server_study", "hdc_planning", "custom_drive", "trace_anatomy"],
+    [
+        "quickstart",
+        "web_server_study",
+        "hdc_planning",
+        "custom_drive",
+        "trace_anatomy",
+        "replay_trace",
+    ],
 )
 def test_example_imports_cleanly(name):
     module = load_example(name)

@@ -155,6 +155,7 @@ class TestRegistryAndCli:
         expected = {f"fig{i:02d}" for i in range(1, 13)}
         expected |= {"table1", "table2", "validation", "ext_frag"}
         expected |= {"availability"}  # fault-injection extension
+        expected |= {"trace_replay"}  # real-trace ingestion extension
         assert set(EXPERIMENTS) == expected
         assert set(RUNNERS) == expected
 

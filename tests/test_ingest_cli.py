@@ -1,0 +1,122 @@
+"""The ``python -m repro.ingest`` CLI: convert, stats, replay."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ingest.cli import main
+from repro.workloads.trace import TimedAccess, Trace
+
+DATA = Path(__file__).parent / "data"
+
+SAMPLES = {
+    "blktrace": DATA / "sample_blktrace.txt",
+    "msr": DATA / "sample_msr.csv",
+    "fio": DATA / "sample_fio.log",
+}
+
+
+class TestConvert:
+    @pytest.mark.parametrize("fmt", sorted(SAMPLES))
+    def test_roundtrip_each_format(self, fmt, tmp_path, capsys):
+        out = tmp_path / f"{fmt}.jsonl"
+        assert main(["convert", str(SAMPLES[fmt]), str(out)]) == 0
+        assert f"({fmt})" in capsys.readouterr().out
+        trace = Trace.load(out)
+        assert len(trace) > 0
+        assert all(isinstance(r, TimedAccess) for r in trace)
+        assert trace.meta.extra["source_format"] == fmt
+        # timestamps re-zeroed and non-decreasing
+        stamps = [r.timestamp_ms for r in trace]
+        assert stamps[0] == 0.0
+        assert stamps == sorted(stamps)
+
+    def test_gzip_output(self, tmp_path):
+        out = tmp_path / "t.jsonl.gz"
+        assert main(["convert", str(SAMPLES["fio"]), str(out)]) == 0
+        assert out.read_bytes()[:2] == b"\x1f\x8b"
+        assert len(Trace.load(out)) == 60
+
+    def test_scale_remap_records_bounds(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        rc = main(
+            [
+                "convert",
+                str(SAMPLES["msr"]),
+                str(out),
+                "--remap",
+                "scale",
+                "--array-blocks",
+                "100000",
+            ]
+        )
+        assert rc == 0
+        trace = Trace.load(out)
+        assert trace.meta.extra["remap"] == "scale"
+        assert "source_bounds" in trace.meta.extra
+        assert all(
+            start + length <= 100_000
+            for r in trace
+            for start, length in r.runs
+        )
+
+    def test_bad_input_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("Timestamp,Hostname,DiskNumber,Type,Offset,Size,R\n" "x,y\n")
+        assert main(["convert", str(bad), str(tmp_path / "o.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    @pytest.mark.parametrize("fmt", sorted(SAMPLES))
+    def test_matches_golden_after_convert(self, fmt, tmp_path, capsys):
+        """The CI smoke in script form: convert, stats, diff golden."""
+        out = tmp_path / f"{fmt}.jsonl"
+        main(["convert", str(SAMPLES[fmt]), str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        got = capsys.readouterr().out
+        golden = (
+            Path(__file__).parent / "golden" / f"ingest_stats_{fmt}.txt"
+        ).read_text()
+        assert got == golden
+
+    def test_stats_on_raw_source(self, capsys):
+        assert main(["stats", str(SAMPLES["fio"])]) == 0
+        out = capsys.readouterr().out
+        assert "workload characterization: sample_fio" in out
+        assert "interarrival (ms)" in out
+
+
+class TestReplay:
+    def test_replay_deterministic_summary(self, tmp_path, capsys):
+        converted = tmp_path / "t.jsonl"
+        main(["convert", str(SAMPLES["fio"]), str(converted)])
+        capsys.readouterr()
+        args = [
+            "replay",
+            str(converted),
+            "--technique",
+            "for",
+            "--accel",
+            "8",
+            "--seed",
+            "3",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert "technique=FOR mode=open" in first
+        assert "records=60" in first
+
+    def test_replay_closed_loop(self, tmp_path, capsys):
+        converted = tmp_path / "t.jsonl"
+        main(["convert", str(SAMPLES["fio"]), str(converted)])
+        capsys.readouterr()
+        assert main(["replay", str(converted), "--mode", "closed"]) == 0
+        assert "mode=closed" in capsys.readouterr().out
+
+    def test_unknown_technique_rejected(self, capsys):
+        assert main(["replay", str(SAMPLES["fio"]), "--technique", "zzz"]) == 1
+        assert "unknown technique" in capsys.readouterr().err

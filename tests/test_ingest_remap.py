@@ -1,0 +1,111 @@
+"""Address remapping and layout inference from ingested traces."""
+
+import pytest
+
+from repro.array.striping import StripingLayout
+from repro.errors import WorkloadError
+from repro.fs.bitmap_builder import build_bitmaps
+from repro.ingest import AddressRemapper, infer_layout, scan_bounds
+from repro.workloads.trace import DiskAccess, TimedAccess
+
+
+def acc(start, length, write=False):
+    return DiskAccess([(start, length)], write)
+
+
+class TestScanBounds:
+    def test_bounds(self):
+        records = [acc(100, 10), acc(5, 2), acc(400, 50)]
+        assert scan_bounds(records) == (5, 450)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError, match="empty"):
+            scan_bounds([])
+
+
+class TestFold:
+    def test_identity_within_range(self):
+        remapper = AddressRemapper(1000, mode="fold")
+        assert remapper.map_run(10, 5) == [(10, 5)]
+
+    def test_wraps_and_splits_at_capacity(self):
+        remapper = AddressRemapper(1000, mode="fold")
+        assert remapper.map_run(2995, 10) == [(995, 5), (0, 5)]
+
+    def test_oversized_run_truncates_to_array(self):
+        remapper = AddressRemapper(100, mode="fold")
+        assert remapper.map_run(0, 250) == [(0, 100)]
+
+    def test_preserves_timestamp_and_kind(self):
+        remapper = AddressRemapper(1000, mode="fold")
+        mapped = remapper.map_record(TimedAccess([(1500, 4)], True, 7.5))
+        assert isinstance(mapped, TimedAccess)
+        assert mapped.timestamp_ms == 7.5
+        assert mapped.is_write
+        assert mapped.runs == ((500, 4),)
+
+    def test_untimed_stays_untimed(self):
+        remapper = AddressRemapper(1000, mode="fold")
+        mapped = remapper.map_record(acc(1500, 4))
+        assert not isinstance(mapped, TimedAccess)
+
+
+class TestScale:
+    def test_requires_bounds(self):
+        with pytest.raises(WorkloadError, match="source_bounds"):
+            AddressRemapper(1000, mode="scale")
+
+    def test_compresses_span_linearly(self):
+        remapper = AddressRemapper(
+            1000, mode="scale", source_bounds=(0, 10_000)
+        )
+        assert remapper.map_run(5000, 4) == [(500, 4)]
+        assert remapper.map_run(9999, 4) == [(996, 4)]  # clamped to fit
+
+    def test_small_span_only_shifts(self):
+        remapper = AddressRemapper(
+            1000, mode="scale", source_bounds=(200, 700)
+        )
+        assert remapper.map_run(300, 8) == [(100, 8)]
+
+
+class TestNone:
+    def test_validates_range(self):
+        remapper = AddressRemapper(1000, mode="none")
+        assert remapper.map_run(10, 5) == [(10, 5)]
+        with pytest.raises(WorkloadError, match="outside"):
+            remapper.map_run(998, 5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown remap mode"):
+            AddressRemapper(1000, mode="wrap")
+
+
+class TestInferLayout:
+    def test_gap_tolerant_merge(self):
+        records = [acc(0, 4), acc(6, 4), acc(100, 8)]
+        layout = infer_layout(records, 1000, file_gap_blocks=2)
+        sizes = sorted(f.size_blocks for f in layout.files)
+        assert sizes == [8, 10]  # [0,10) bridged the 2-block gap
+
+    def test_gap_zero_keeps_regions_apart(self):
+        records = [acc(0, 4), acc(6, 4)]
+        layout = infer_layout(records, 1000, file_gap_blocks=0)
+        assert len(layout.files) == 2
+
+    def test_max_file_blocks_splits(self):
+        layout = infer_layout([acc(0, 100)], 1000, max_file_blocks=32)
+        assert sorted(f.size_blocks for f in layout.files) == [4, 32, 32, 32]
+
+    def test_out_of_range_trace_rejected(self):
+        with pytest.raises(WorkloadError, match="remap"):
+            infer_layout([acc(2000, 8)], 1000)
+
+    def test_bitmaps_build_from_inferred_layout(self):
+        records = [acc(0, 64), acc(128, 32), acc(512, 16)]
+        layout = infer_layout(records, 1024)
+        striping = StripingLayout(2, 4, 512)
+        bitmaps = build_bitmaps(layout, striping)
+        assert len(bitmaps) == 2
+        # A mid-file unit continues sequentially; file tails stop.
+        assert any(b.ones() > 0 for b in bitmaps)

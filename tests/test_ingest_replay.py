@@ -1,0 +1,105 @@
+"""Open-loop replay: timestamp-driven admission, accel, determinism."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.host.openloop import OpenLoopDriver
+from repro.host.system import System
+from repro.obs.tracer import Tracer, tracing
+from repro.workloads.trace import DiskAccess, TimedAccess, Trace, TraceMeta
+
+
+def timed_trace(n=20, gap_ms=5.0, stride=64):
+    records = [
+        TimedAccess([((i * stride) % 4096, 8)], i % 3 == 0, i * gap_ms)
+        for i in range(n)
+    ]
+    return Trace(records, TraceMeta(n_streams=4, coalesce_prob=0.0))
+
+
+class TestOpenLoopDriver:
+    def test_rejects_untimed_trace(self, small_config):
+        trace = Trace(
+            [DiskAccess([(0, 8)])], TraceMeta(coalesce_prob=0.0)
+        )
+        system = System(small_config)
+        with pytest.raises(WorkloadError, match="timed trace"):
+            OpenLoopDriver(system, trace)
+
+    def test_rejects_nonpositive_accel(self, small_config):
+        system = System(small_config)
+        with pytest.raises(WorkloadError, match="accel"):
+            OpenLoopDriver(system, timed_trace(), accel=0.0)
+
+    def test_completes_every_record(self, small_config):
+        system = System(small_config)
+        driver = OpenLoopDriver(system, timed_trace(30))
+        driver.run()
+        assert driver.records_admitted == 30
+        assert driver.records_completed == 30
+        assert driver.in_flight == 0
+
+    def test_admission_follows_timestamps(self, small_config):
+        """With widely spaced arrivals the run lasts at least as long as
+        the trace — completions never pull arrivals forward."""
+        system = System(small_config)
+        elapsed = OpenLoopDriver(system, timed_trace(10, gap_ms=50.0)).run()
+        assert elapsed >= 9 * 50.0
+
+    def test_accel_compresses_arrivals(self, small_config):
+        slow = OpenLoopDriver(
+            System(small_config), timed_trace(10, gap_ms=50.0)
+        ).run()
+        fast = OpenLoopDriver(
+            System(small_config), timed_trace(10, gap_ms=50.0), accel=10.0
+        ).run()
+        assert fast < slow / 2
+
+    def test_deterministic_across_runs(self, small_config):
+        results = []
+        for _ in range(2):
+            system = System(small_config)
+            driver = OpenLoopDriver(system, timed_trace(25, gap_ms=2.0))
+            elapsed = driver.run()
+            results.append((elapsed, tuple(driver.record_latencies_ms)))
+        assert results[0] == results[1]
+
+    def test_mid_trace_untimed_record_rejected(self, small_config):
+        records = [
+            TimedAccess([(0, 8)], False, 0.0),
+            DiskAccess([(64, 8)]),
+            TimedAccess([(128, 8)], False, 2.0),
+        ]
+        trace = Trace(records, TraceMeta(coalesce_prob=0.0))
+        system = System(small_config)
+        driver = OpenLoopDriver(system, trace)
+        with pytest.raises(WorkloadError, match="no timestamp"):
+            driver.run()
+
+    def test_admit_instants_traced(self, small_config):
+        tracer = Tracer()
+        with tracing(tracer):
+            system = System(small_config)
+            OpenLoopDriver(system, timed_trace(12)).run()
+        admits = [e for e in tracer.events if e[3] == "replay.admit"]
+        assert len(admits) == 12
+        assert [e[7]["record"] for e in admits] == list(range(12))
+
+
+class TestRunnerIntegration:
+    def test_runner_open_loop_path(self, small_config):
+        from repro.experiments.runner import TechniqueRunner
+        from repro.experiments.techniques import SEGM
+        from repro.fs.layout import FileSystemLayout
+
+        trace = timed_trace(20)
+        layout = FileSystemLayout.build(
+            [8] * 16, small_config.array_blocks
+        )
+        runner = TechniqueRunner(layout, trace)
+        open_res = runner.run(small_config, SEGM, open_loop=True, accel=2.0)
+        closed_res = runner.run(small_config, SEGM)
+        assert open_res.records == closed_res.records == 20
+        # both paths report through the same collector
+        assert open_res.io_time_ms > 0
+        assert len(open_res.record_latencies_ms) == 20

@@ -50,6 +50,20 @@ def test_checker_flags_violations(tmp_path, monkeypatch):
     assert len(errors) == 1 and "non-downstream" in errors[0]
 
 
+def test_checker_flags_ingest_controller_import(tmp_path, monkeypatch):
+    checker = load_checker()
+    src = tmp_path / "src"
+    ingest = src / "repro" / "ingest"
+    ingest.mkdir(parents=True)
+    (ingest / "sneaky.py").write_text(
+        "from repro.controller.commands import DiskCommand\n"
+    )
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_ingest_independence(errors)
+    assert len(errors) == 1 and "ingest" in errors[0]
+
+
 def test_checker_flags_private_cross_import(tmp_path, monkeypatch):
     checker = load_checker()
     src = tmp_path / "src"

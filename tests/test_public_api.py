@@ -38,6 +38,7 @@ def test_all_has_no_duplicates():
         "repro.hdc",
         "repro.host",
         "repro.workloads",
+        "repro.ingest",
         "repro.analysis",
         "repro.metrics",
         "repro.obs",

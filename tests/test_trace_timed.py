@@ -1,0 +1,127 @@
+"""Timed JSONL trace format: optional ``"t"`` key, streaming, gzip."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import (
+    DiskAccess,
+    TimedAccess,
+    Trace,
+    TraceMeta,
+    iter_trace_records,
+    open_trace,
+    save_trace,
+)
+
+
+class TestTimedAccess:
+    def test_carries_timestamp(self):
+        record = TimedAccess([(0, 4)], True, timestamp_ms=12.5)
+        assert record.timestamp_ms == 12.5
+        assert record.is_write
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(WorkloadError, match="negative timestamp"):
+            TimedAccess([(0, 4)], timestamp_ms=-1.0)
+
+    def test_equality_ignores_timestamp(self):
+        """Same request, different clock — read-merging treats them alike."""
+        timed = TimedAccess([(0, 4)], False, timestamp_ms=3.0)
+        plain = DiskAccess([(0, 4)], False)
+        assert timed == plain
+        assert hash(timed) == hash(plain)
+
+
+class TestRoundTrip:
+    def test_untimed_roundtrip_unchanged(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace = Trace([DiskAccess([(0, 4), (10, 2)], True)], TraceMeta())
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.records == trace.records
+        assert not isinstance(loaded[0], TimedAccess)
+        # the untimed shape serializes exactly as before: no "t" key
+        record_line = path.read_text().splitlines()[1]
+        assert "t" not in json.loads(record_line)
+
+    def test_timed_roundtrip_preserves_timestamps(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [
+            TimedAccess([(0, 4)], False, 0.0),
+            TimedAccess([(8, 2)], True, 1.25),
+        ]
+        Trace(records, TraceMeta(name="x")).save(path)
+        loaded = Trace.load(path)
+        assert [r.timestamp_ms for r in loaded] == [0.0, 1.25]
+        assert all(isinstance(r, TimedAccess) for r in loaded)
+
+    def test_mixed_records_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [DiskAccess([(0, 1)]), TimedAccess([(4, 1)], False, 2.0)]
+        Trace(records, TraceMeta()).save(path)
+        loaded = Trace.load(path)
+        assert not isinstance(loaded[0], TimedAccess)
+        assert isinstance(loaded[1], TimedAccess)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        records = [TimedAccess([(0, 4)], False, 5.0)]
+        Trace(records, TraceMeta(name="gz")).save(path)
+        with gzip.open(path, "rt") as fh:  # really compressed
+            assert json.loads(fh.readline())["meta"]["name"] == "gz"
+        assert Trace.load(path)[0].timestamp_ms == 5.0
+
+
+class TestStreaming:
+    def test_save_accepts_generator(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+
+        def gen():
+            for i in range(100):
+                yield TimedAccess([(i, 1)], False, float(i))
+
+        assert save_trace(path, TraceMeta(), gen()) == 100
+        assert len(path.read_text().splitlines()) == 101
+
+    def test_iter_trace_records_is_lazy(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(
+            path, TraceMeta(), (DiskAccess([(i, 1)]) for i in range(10))
+        )
+        records = iter_trace_records(path)
+        assert next(records).runs == ((0, 1),)
+        assert len(list(records)) == 9
+
+    def test_open_trace_returns_meta_before_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(path, TraceMeta(name="m"), [DiskAccess([(0, 1)])])
+        meta, records = open_trace(path)
+        assert meta.name == "m"
+        assert len(list(records)) == 1
+
+
+class TestMalformed:
+    def test_bad_record_names_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"meta": {"name": "x"}}\n'
+            '{"r": [[0, 4]], "w": 0}\n'
+            '{"r": "nope", "w": 0}\n'
+        )
+        with pytest.raises(WorkloadError, match="line 3"):
+            Trace.load(path)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"r": [[0, 4]], "w": 0}\n')
+        with pytest.raises(WorkloadError, match="meta"):
+            Trace.load(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(WorkloadError, match="empty"):
+            Trace.load(path)

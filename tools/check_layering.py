@@ -17,6 +17,10 @@ Enforced rules (AST-level, no imports executed):
    other (they share ``cache/base.py`` and ``cache/core.py``).
 5. **Read-ahead is controller-free** — nothing in ``repro.readahead``
    imports ``repro.controller`` (the planner is duck-typed).
+6. **Ingest is controller-free** — nothing in ``repro.ingest`` imports
+   ``repro.controller``. Trace ingestion may build on workloads and fs
+   (records, layouts, bitmaps) but must never reach into the simulated
+   hardware; replay wiring lives in ``host``/``experiments``.
 
 Run from the repository root: ``python tools/check_layering.py``.
 Exits non-zero listing every violation.
@@ -128,6 +132,17 @@ def check_readahead_independence(errors: List[str]) -> None:
                 )
 
 
+def check_ingest_independence(errors: List[str]) -> None:
+    for path in sorted((SRC / "repro" / "ingest").glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if module.startswith("repro.controller"):
+                errors.append(
+                    f"{path}: ingest must not depend on the "
+                    f"controller package (imports {module})"
+                )
+
+
 def main() -> int:
     errors: List[str] = []
     check_stage_order(errors)
@@ -135,6 +150,7 @@ def main() -> int:
     check_facade_size(errors)
     check_cache_policy_isolation(errors)
     check_readahead_independence(errors)
+    check_ingest_independence(errors)
     if errors:
         print(f"layering check: {len(errors)} violation(s)", file=sys.stderr)
         for err in errors:
