@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Whole-simulator benchmark: simulated-I/O requests per second.
+
+Where :mod:`benchmarks.bench_hotpath` times individual cache
+operations, this benchmark measures what the ROADMAP actually cares
+about — how many trace records per wall-clock second a full
+end-to-end replay services, through the host decomposition, the staged
+controller pipeline, the mechanical drive model and the shared bus.
+
+Four scenarios cover the two replay disciplines over the two trace
+sources:
+
+* ``closed_synthetic``  — fig03-style synthetic workload, closed-loop
+  (128 streams, as fast as completions allow): the paper's capacity
+  question.
+* ``open_synthetic``    — the same workload with exponential arrival
+  timestamps, replayed open-loop: the delivered-latency question.
+* ``closed_ingested``   — a real fio capture (tiled to benchmark
+  length), closed-loop.
+* ``open_ingested``     — the same capture open-loop at its own
+  (time-warped) arrival times.
+
+Output is ``BENCH_sim.json``: per scenario the wall seconds, the
+records/second, the pre-PR baseline records/second measured with this
+same harness before the PR-6 fast path landed, and the speedup over
+that baseline. CI runs this every PR and uploads the JSON as an
+artifact with a printed trend line; correctness is gated separately by
+the golden byte-identity diffs (the fast path must not change a single
+output byte).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_sim.py [-o OUT]
+[--scale S] [--profile SCENARIO]``
+
+The ``--profile`` flag wraps one scenario in ``cProfile`` and prints
+the top functions by internal time — the recipe used to find the PR-6
+hot spots (see README "Benchmarking the simulator").
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+from repro.config import ultrastar_36z15_config
+from repro.experiments.runner import TechniqueRunner
+from repro.experiments.techniques import ALL_TECHNIQUES
+from repro.experiments.trace_replay import _synthetic_timed
+from repro.ingest.detect import parse_source
+from repro.ingest.remap import AddressRemapper, infer_layout
+from repro.workloads.trace import TimedAccess, Trace, TraceMeta
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIO_SAMPLE = REPO_ROOT / "tests" / "data" / "sample_fio.log"
+
+#: Records/second measured with this same harness at the PR-5 tree
+#: (commit 3026f86, ``--scale 1.0``), i.e. before the PR-6 fast path:
+#: per-event ``Event`` object allocation, Python-level heap
+#: comparisons, one ``Simulator.step()`` call per event, unmemoized
+#: seek/transfer curves and per-draw rotation sampling. Kept so every
+#: future run reports its speedup against the same honest reference
+#: point (numbers from the CI-class container the PR was developed
+#: on; wall-clock ratios are what CI trend-watches, not absolutes).
+PRE_PR_BASELINE_RPS = {
+    "closed_synthetic": 16090.0,
+    "open_synthetic": 16184.0,
+    "closed_ingested": 9347.0,
+    "open_ingested": 15321.0,
+}
+
+
+def _tiled_fio_trace(config, n_records: int) -> tuple:
+    """The bundled fio capture tiled out to ``n_records`` timed records.
+
+    Tiling repeats the capture end-to-end, shifting each copy's
+    timestamps past the previous copy, so arrival dynamics (bursts,
+    gaps) survive scaling — the multi-GB-trace shape at test size.
+    """
+    _fmt, records = parse_source(str(FIO_SAMPLE))
+    remapper = AddressRemapper(config.array_blocks, mode="fold")
+    base = [remapper.map_record(r) for r in records]
+    span = max(r.timestamp_ms for r in base) + 1.0
+    tiled = []
+    copy = 0
+    while len(tiled) < n_records:
+        offset = copy * span
+        for r in base:
+            tiled.append(TimedAccess(r.runs, r.is_write, r.timestamp_ms + offset))
+            if len(tiled) >= n_records:
+                break
+        copy += 1
+    trace = Trace(tiled, TraceMeta(name="fio_tiled", n_streams=64, coalesce_prob=0.87))
+    return infer_layout(trace, config.array_blocks), trace
+
+
+def _run(runner, config, technique_key: str, **kwargs):
+    """One timed TechniqueRunner.run; returns (records/s, wall_s)."""
+    technique = ALL_TECHNIQUES[technique_key]
+    t0 = time.perf_counter()
+    res = runner.run(config, technique, keep_raw_latencies=False, **kwargs)
+    wall = time.perf_counter() - t0
+    return res.records / wall, wall, res
+
+
+def scenarios(scale: float = 1.0):
+    """Yield (name, callable) pairs; each callable returns (rps, wall, result)."""
+    config = ultrastar_36z15_config(seed=1)
+    syn_layout, syn_trace = _synthetic_timed(scale=scale, seed=1)
+    syn_runner = TechniqueRunner(syn_layout, syn_trace)
+    fio_layout, fio_trace = _tiled_fio_trace(config, int(8_000 * scale))
+    fio_runner = TechniqueRunner(fio_layout, fio_trace)
+    yield (
+        "closed_synthetic",
+        lambda: _run(syn_runner, config, "for"),
+    )
+    yield (
+        "open_synthetic",
+        lambda: _run(syn_runner, config, "for", open_loop=True, accel=4.0),
+    )
+    yield (
+        "closed_ingested",
+        lambda: _run(fio_runner, config, "segm"),
+    )
+    yield (
+        "open_ingested",
+        lambda: _run(fio_runner, config, "segm", open_loop=True, accel=50.0),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_sim.json")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (1.0 ≈ 10k synthetic + 8k ingested records)",
+    )
+    parser.add_argument(
+        "--profile", metavar="SCENARIO", default=None,
+        help="cProfile one scenario and print the top-25 functions by tottime",
+    )
+    args = parser.parse_args()
+
+    if args.profile:
+        table = dict(scenarios(args.scale))
+        if args.profile not in table:
+            parser.error(f"unknown scenario {args.profile!r} (have {sorted(table)})")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        table[args.profile]()
+        profiler.disable()
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats("tottime").print_stats(25)
+        return
+
+    results: dict = {"scale": args.scale, "scenarios": {}}
+    speedups = []
+    for name, fn in scenarios(args.scale):
+        rps, wall, res = fn()
+        baseline = PRE_PR_BASELINE_RPS.get(name)
+        entry = {
+            "records": res.records,
+            "wall_s": round(wall, 4),
+            "records_per_s": round(rps, 1),
+            "baseline_records_per_s": baseline,
+        }
+        if baseline:
+            entry["speedup_vs_baseline"] = round(rps / baseline, 2)
+            speedups.append(rps / baseline)
+        results["scenarios"][name] = entry
+        print(
+            f"{name:>18}: {res.records:>6} records in {wall:6.2f}s = "
+            f"{rps:9,.0f} req/s"
+            + (f"  ({rps / baseline:.2f}x baseline)" if baseline else ""),
+            file=sys.stderr,
+        )
+    if speedups:
+        geomean = 1.0
+        for s in speedups:
+            geomean *= s
+        geomean **= 1.0 / len(speedups)
+        results["geomean_speedup"] = round(geomean, 2)
+        print(f"{'geomean speedup':>18}: {geomean:.2f}x", file=sys.stderr)
+
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

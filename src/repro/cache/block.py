@@ -76,11 +76,52 @@ class BlockCache(ControllerCache):
         present = self.core.present
         unaccessed = self._unaccessed
         capacity = self.capacity_blocks
-        # Blocks inserted by THIS call are exempt from its own
-        # evictions: a read-ahead run larger than the free pool must
-        # not drop its own head (the blocks the host consumes first)
-        # to make room for its tail. When nothing evictable remains,
-        # the tail that does not fit is dropped instead.
+        new = [b for b in blocks if b not in present]
+        if not new:
+            return
+        installed = dict.fromkeys(new)
+        need = len(present) + len(installed) - capacity
+        if need <= 0:
+            # Bulk install: no eviction possible, so the per-block loop
+            # below collapses to two C-level dict updates.
+            present.update(installed)
+            unaccessed.update(installed)
+            stats.blocks_filled += len(installed)
+            return
+        if (
+            self.policy is BlockPolicy.MRU
+            and len(self._accessed) >= need
+            and len(new) == len(blocks)
+        ):
+            # Batched MRU eviction: the victims are the ``need`` most
+            # recently consumed blocks — exactly the ones the per-block
+            # loop would pop one insert at a time. Fills never touch the
+            # accessed dict, and no fill block was present at the start
+            # (``len(new) == len(blocks)``), so no victim can reappear
+            # later in this run — interleaving cannot change victims.
+            accessed = self._accessed
+            core = self.core
+            core_stats = core.stats
+            tracer = core.tracer
+            for _ in range(need):
+                block, _ = accessed.popitem(last=True)
+                del present[block]
+                core_stats.evictions += 1
+                if tracer.enabled:
+                    tracer.instant(core.track, "cache.evict", blocks=1, unused=0)
+            present.update(installed)
+            unaccessed.update(installed)
+            stats.blocks_filled += len(installed)
+            return
+        # General path (LRU, eviction dipping into unaccessed blocks,
+        # or a run overlapping the cache's current contents): blocks
+        # inserted by THIS call are exempt from its own evictions — a
+        # read-ahead run larger than the free pool must not drop its
+        # own head (the blocks the host consumes first) to make room
+        # for its tail. When nothing evictable remains, the tail that
+        # does not fit is dropped instead. Presence is re-checked per
+        # block: an eviction may drop a block that appears later in
+        # the run, and the loop then re-installs it.
         in_flight: Set[int] = set()
         for b in blocks:
             if b in present:

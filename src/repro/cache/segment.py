@@ -145,9 +145,7 @@ class SegmentCache(ControllerCache):
             self._victims.push(seg.created, seg.order_key, seg)
         if stream >= 0:
             self._by_stream[stream] = seg
-        present = self.core.present
-        for b in chunk:
-            present[b] = seg
+        self.core.present.update(dict.fromkeys(chunk, seg))
         self.stats.blocks_filled += len(chunk)
 
     def _choose_victim(self) -> _Segment:

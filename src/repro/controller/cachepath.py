@@ -48,6 +48,10 @@ class CachePath:
         ``missing()`` (which updates hit/miss statistics).
         """
         pinned = self.pinned
+        if not len(pinned):
+            # Common case (HDC disabled or nothing pinned yet): skip the
+            # per-block is_pinned probe entirely.
+            return self.cache.missing(cmd.blocks())
         plain: List[int] = []
         n_pinned = 0
         for b in cmd.blocks():
@@ -76,11 +80,14 @@ class CachePath:
         even when a file's blocks arrive as multiple commands.
         """
         cache, pinned = self.cache, self.pinned
-        misses = [
-            b
-            for b in cmd.blocks()
-            if not pinned.is_pinned(b) and not cache.contains(b)
-        ]
+        if not len(pinned):
+            misses = [b for b in cmd.blocks() if not cache.contains(b)]
+        else:
+            misses = [
+                b
+                for b in cmd.blocks()
+                if not pinned.is_pinned(b) and not cache.contains(b)
+            ]
         if misses:
             return misses
         self.stats.dispatch_cache_hits += 1
@@ -94,11 +101,19 @@ class CachePath:
     def mark_consumed(self, cmd: DiskCommand) -> None:
         """Recency-mark a delivered read's non-pinned blocks."""
         pinned = self.pinned
+        if not len(pinned):
+            self.cache.access(cmd.blocks())
+            return
         self.cache.access(b for b in cmd.blocks() if not pinned.is_pinned(b))
 
     def fill_from_media(self, start: int, n_blocks: int, stream: int) -> None:
         """Install a completed media read (requested + read-ahead)."""
         pinned = self.pinned
+        if not len(pinned):
+            # The run is installed as-is; a range is a Sequence, so the
+            # cache's bulk path consumes it without an intermediate list.
+            self.cache.fill(range(start, start + n_blocks), stream_hint=stream)
+            return
         fill = [
             b for b in range(start, start + n_blocks) if not pinned.is_pinned(b)
         ]
@@ -114,16 +129,19 @@ class CachePath:
         caches them itself), so they are recency-marked as consumed.
         """
         pinned = self.pinned
-        plain: List[int] = []
-        n_pinned = 0
-        for b in cmd.blocks():
-            if pinned.is_pinned(b):
-                pinned.write(b)
-                n_pinned += 1
-            else:
-                plain.append(b)
-        self.stats.hdc_block_hits += n_pinned
-        self.stats.hdc_write_absorbed += n_pinned
+        if not len(pinned):
+            plain: List[int] = list(cmd.blocks())
+        else:
+            plain = []
+            n_pinned = 0
+            for b in cmd.blocks():
+                if pinned.is_pinned(b):
+                    pinned.write(b)
+                    n_pinned += 1
+                else:
+                    plain.append(b)
+            self.stats.hdc_block_hits += n_pinned
+            self.stats.hdc_write_absorbed += n_pinned
         cache = self.cache
         cache.access(b for b in plain if cache.contains(b))
         return plain

@@ -108,7 +108,12 @@ class Frontend:
 
     def _handle_write(self, cmd: DiskCommand) -> None:
         plain = self.cachepath.absorb_write(cmd)
-        runs = contiguous_runs(plain)
+        if len(plain) == cmd.n_blocks:
+            # Nothing absorbed: the whole command goes to media as the
+            # single contiguous run it already is.
+            runs = [(cmd.start_block, cmd.n_blocks)]
+        else:
+            runs = contiguous_runs(plain)
 
         def _after_bus() -> None:
             if not runs:

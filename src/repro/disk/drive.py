@@ -137,19 +137,28 @@ class DiskDrive:
                 tracer.complete(self._state_track, name, ts, phase_ms)
                 ts += phase_ms
 
-        def _finish() -> None:
-            self.busy = False
-            self.head_block = start_block + n_blocks - 1
-            self.busy_time += duration
-            self.operations += 1
-            self.blocks_transferred += n_blocks
-            if error is not None:
-                on_done(error)
-            else:
-                on_done()
-
-        self.sim.schedule(duration, _finish)
+        self.sim.call_after(
+            duration, self._finish, start_block, n_blocks, duration, error, on_done
+        )
         return duration
+
+    def _finish(
+        self,
+        start_block: int,
+        n_blocks: int,
+        duration: float,
+        error: Optional[str],
+        on_done: Callable[..., None],
+    ) -> None:
+        self.busy = False
+        self.head_block = start_block + n_blocks - 1
+        self.busy_time += duration
+        self.operations += 1
+        self.blocks_transferred += n_blocks
+        if error is not None:
+            on_done(error)
+        else:
+            on_done()
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` the media was busy."""

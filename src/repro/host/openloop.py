@@ -44,6 +44,13 @@ class OpenLoopDriver(ReplayDriver):
         array=None,
         striping=None,
     ):
+        # Guard before touching trace[0] below: an empty trace must be a
+        # clear WorkloadError, never a bare IndexError.
+        if len(trace) == 0:
+            raise WorkloadError(
+                "cannot open-loop replay an empty timed trace "
+                "(no arrival timestamps to schedule)"
+            )
         super().__init__(
             system,
             trace,
@@ -58,11 +65,16 @@ class OpenLoopDriver(ReplayDriver):
             raise WorkloadError(f"accel must be positive, got {accel}")
         self.accel = accel
         self.records_admitted = 0
-        if self._timestamp_of(trace[0]) is None:
+        t0 = self._timestamp_of(trace[0])
+        if t0 is None:
             raise WorkloadError(
                 "open-loop replay needs a timed trace (TimedAccess records "
                 "with timestamps — convert one with `python -m repro.ingest`)"
             )
+        #: First record's trace timestamp — the origin of the absolute
+        #: arrival timeline every later record is scheduled against.
+        self._t0 = t0
+        self._start_time = 0.0
 
     @staticmethod
     def _timestamp_of(record: DiskAccess) -> Optional[float]:
@@ -79,44 +91,65 @@ class OpenLoopDriver(ReplayDriver):
         """Replay the whole trace; returns the total I/O time in ms."""
         sim = self.system.sim
         start = sim.now
-        sim.schedule(0.0, self._arrive)
-        total = len(self.trace)
-        while self.records_completed < total:
-            if not sim.step():
-                raise WorkloadError(
-                    f"replay stalled: {self.records_completed}/{total} "
-                    "records completed (event queue drained early)"
-                )
+        self._start_time = start
+        sim.call_after(0.0, self._arrive)
+        # The engine runs until the last completion calls ``sim.stop()``
+        # from ``_record_done`` (see ReplayDriver.run for why the queue
+        # is never drained).
+        sim.run()
+        if self.records_completed < self._total:
+            raise WorkloadError(
+                f"replay stalled: {self.records_completed}/{self._total} "
+                "records completed (event queue drained early)"
+            )
         self.finish_time = sim.now
         return sim.now - start
 
     def _arrive(self) -> None:
-        index = self._next_index
-        record = self.trace[index]
-        self._next_index += 1
-        # Chain the next arrival first so same-instant arrivals issue
-        # in trace order and the event queue stays one arrival deep.
-        if self._next_index < len(self.trace):
-            ts = self._timestamp_of(record)
-            next_ts = self._timestamp_of(self.trace[self._next_index])
-            if ts is None or next_ts is None:
+        """Admit every record whose arrival time has come, then re-arm.
+
+        Arrivals are scheduled against the *absolute* timeline
+        ``start + (t_i - t_0) / accel``: a straggler timestamp (capture
+        reordering) issues immediately but never shifts later arrivals
+        off the trace's schedule, and runs of same-instant arrivals are
+        admitted inside one event instead of a chain of zero-delay
+        events.
+        """
+        sim = self.system.sim
+        trace = self.trace
+        tracer = self.system.tracer
+        total = self._total
+        start = self._start_time
+        t0 = self._t0
+        accel = self.accel
+        while True:
+            index = self._next_index
+            record = trace[index]
+            self._next_index += 1
+            self.records_admitted += 1
+            if tracer.enabled:
+                tracer.instant(
+                    HOST_TRACK,
+                    "replay.admit",
+                    record=index,
+                    in_flight=self.in_flight,
+                )
+            self._issue_record(record, stream_id=index)
+            nxt = self._next_index
+            if nxt >= total:
+                return
+            ts = self._timestamp_of(trace[nxt])
+            if ts is None:
                 raise WorkloadError(
-                    f"record {self._next_index} has no timestamp — "
+                    f"record {nxt} has no timestamp — "
                     "open-loop replay needs a fully timed trace"
                 )
-            # Clamp: capture reordering may put a straggler first.
-            delay = max(0.0, (next_ts - ts) / self.accel)
-            self.system.sim.schedule(delay, self._arrive)
-        self.records_admitted += 1
-        tracer = self.system.tracer
-        if tracer.enabled:
-            tracer.instant(
-                HOST_TRACK,
-                "replay.admit",
-                record=index,
-                in_flight=self.in_flight,
-            )
-        self._issue_record(record, stream_id=index)
+            target = start + (ts - t0) / accel
+            if target > sim.now:
+                sim.call_at(target, self._arrive)
+                return
+            # target <= now: due at this instant (or overdue straggler)
+            # — admit it in this same event.
 
     def _start_next(self, stream_id: int) -> None:
         """Completions never pull the next record in an open loop."""

@@ -30,9 +30,26 @@ class RotationModel:
         self.mean_latency_ms = disk.avg_rotational_latency_ms
         self.deterministic = deterministic
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Buffered uniform draws. ``Generator.random(n)`` consumes the
+        # underlying PCG64 stream in exactly the same order as ``n``
+        # scalar ``random()`` calls, so serving draws from a batch is
+        # bit-identical to drawing one at a time — it just pays the
+        # numpy call overhead once per ``_CHUNK`` samples instead of
+        # per media op. Safe because each model owns a dedicated
+        # per-disk stream (``disk{N}.rotation``): no other consumer
+        # interleaves draws, so buffering ahead is unobservable.
+        self._buffer: list = []
+        self._buffer_pos = 0
+
+    _CHUNK = 1024
 
     def latency(self) -> float:
         """One rotational-latency sample in ms."""
         if self.deterministic:
             return self.mean_latency_ms
-        return float(self._rng.random() * self.rotation_ms)
+        pos = self._buffer_pos
+        if pos >= len(self._buffer):
+            self._buffer = self._rng.random(self._CHUNK).tolist()
+            pos = 0
+        self._buffer_pos = pos + 1
+        return self._buffer[pos] * self.rotation_ms

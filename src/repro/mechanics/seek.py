@@ -26,17 +26,27 @@ class SeekModel:
     def __init__(self, params: SeekParams):
         params.validate()
         self.params = params
+        # The curve's domain is small (integer cylinder distances, at
+        # most the cylinder count) and every media op evaluates it, so
+        # memoize each distance's time the first time it is computed.
+        # The cached value comes from the exact same float expression
+        # the uncached path used, keeping results bit-identical.
+        self._memo: dict = {0: 0.0}
 
     def seek_time(self, n_cylinders: int) -> float:
         """Seek time in ms to travel ``n_cylinders`` (0 ⇒ no seek)."""
+        cached = self._memo.get(n_cylinders)
+        if cached is not None:
+            return cached
         if n_cylinders < 0:
             raise ConfigError(f"negative seek distance {n_cylinders}")
         p = self.params
-        if n_cylinders == 0:
-            return 0.0
         if n_cylinders <= p.theta:
-            return p.alpha + p.beta * math.sqrt(n_cylinders)
-        return p.gamma + p.delta * n_cylinders
+            t = p.alpha + p.beta * math.sqrt(n_cylinders)
+        else:
+            t = p.gamma + p.delta * n_cylinders
+        self._memo[n_cylinders] = t
+        return t
 
     __call__ = seek_time
 

@@ -31,13 +31,28 @@ class TransferModel:
         self.rate_bytes_ms = disk.transfer_rate_bytes_ms
         self.track_switch_ms = track_switch_ms
         self.geometry = geometry
+        # Memoized ``r * S / rate`` per block count — command sizes
+        # cluster tightly (coalescer output), and the cached value is
+        # the same float expression evaluated once, so results stay
+        # bit-identical. Only used on the default no-track-switch path,
+        # where the time depends on ``n_blocks`` alone.
+        self._memo: dict = {}
 
     def transfer_time(self, n_blocks: int, start_block: int = 0) -> float:
         """Time in ms to stream ``n_blocks`` off (or onto) the media."""
+        if not self.track_switch_ms:
+            cached = self._memo.get(n_blocks)
+            if cached is not None:
+                return cached
+            if n_blocks < 0:
+                raise ConfigError(f"negative block count {n_blocks}")
+            base = n_blocks * self.block_size / self.rate_bytes_ms
+            self._memo[n_blocks] = base
+            return base
         if n_blocks < 0:
             raise ConfigError(f"negative block count {n_blocks}")
         base = n_blocks * self.block_size / self.rate_bytes_ms
-        if self.track_switch_ms and self.geometry is not None and n_blocks > 0:
+        if self.geometry is not None and n_blocks > 0:
             per_track = self.geometry.blocks_per_track
             first = start_block % per_track
             switches = (first + n_blocks - 1) // per_track

@@ -28,6 +28,32 @@ class Coalescer:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.boundaries_seen = 0
         self.boundaries_merged = 0
+        # Buffered uniforms, same trick as RotationModel: the coalescer
+        # owns its RNG stream (``host.coalesce``), so drawing a chunk
+        # ahead and serving slices preserves the exact draw sequence a
+        # per-run ``rng.random(n-1)`` call consumed, while paying the
+        # numpy call overhead once per ``_CHUNK`` boundaries. Python
+        # floats (``tolist``) also iterate much faster than numpy
+        # scalars in the merge loop below.
+        self._buffer: List[float] = []
+        self._buffer_pos = 0
+
+    _CHUNK = 1024
+
+    def _draws(self, n: int) -> List[float]:
+        """The next ``n`` uniforms from the buffered stream."""
+        pos = self._buffer_pos
+        buf = self._buffer
+        end = pos + n
+        if end > len(buf):
+            buf = buf[pos:]
+            need = n - len(buf)
+            buf += self._rng.random(max(self._CHUNK, need)).tolist()
+            self._buffer = buf
+            pos = 0
+            end = n
+        self._buffer_pos = end
+        return buf[pos:end]
 
     def split(self, start: int, n_blocks: int) -> List[Tuple[int, int]]:
         """Split one contiguous run into command-sized (start, len) pieces."""
@@ -37,19 +63,22 @@ class Coalescer:
             self.boundaries_seen += n_blocks - 1
             self.boundaries_merged += n_blocks - 1
             return [(start, n_blocks)]
-        draws = self._rng.random(n_blocks - 1)
+        draws = self._draws(n_blocks - 1)
         self.boundaries_seen += n_blocks - 1
+        prob = self.prob
         pieces: List[Tuple[int, int]] = []
         piece_start = start
         length = 1
+        merged = 0
         for i, draw in enumerate(draws):
-            if draw < self.prob:
+            if draw < prob:
                 length += 1
-                self.boundaries_merged += 1
+                merged += 1
             else:
                 pieces.append((piece_start, length))
                 piece_start = start + i + 1
                 length = 1
+        self.boundaries_merged += merged
         pieces.append((piece_start, length))
         return pieces
 

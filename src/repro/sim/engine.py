@@ -5,14 +5,28 @@ relative delays and the engine fires them in time order. There is no
 process abstraction; the disk, bus and host components are written in
 continuation-passing style, which keeps the hot loop free of generator
 overhead (important when replaying million-request traces in Python).
+
+Two scheduling flavours exist: :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` return an :class:`Event` handle for
+callers that may :meth:`~Simulator.cancel` later (timers, anticipation
+deadlines), while :meth:`Simulator.call_after` / :meth:`Simulator.call_at`
+allocate no handle at all — the right choice for the hot path, where
+virtually every event fires exactly once. :meth:`Simulator.run` works
+directly on the queue's raw heap entries, so servicing one event costs
+one C-level ``heappop`` plus the callback itself; drivers that need to
+leave the loop mid-queue (replay completion) call
+:meth:`Simulator.stop` from inside a callback instead of single-stepping
+the engine from outside, which used to cost a Python ``step()`` frame
+per event.
 """
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import STATE_CANCELLED, STATE_FIRED, Event, EventQueue
 
 
 class Simulator:
@@ -22,13 +36,16 @@ class Simulator:
         self._queue = EventQueue()
         self.now: float = 0.0
         self._running = False
+        self._stop = False
         self.events_fired: int = 0
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now.
 
         ``delay`` must be non-negative; zero-delay events fire after all
-        events already scheduled for the current instant.
+        events already scheduled for the current instant. Returns a
+        cancellable handle — use :meth:`call_after` when the caller will
+        never cancel.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
@@ -42,6 +59,25 @@ class Simulator:
             )
         return self._queue.push(time, fn, args)
 
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` ms from now, without a handle.
+
+        The no-allocation fast path for fire-and-forget events (media
+        completions, bus transfers, chained arrivals) — same ordering
+        semantics as :meth:`schedule`, nothing to cancel.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._queue.push_fast(self.now + delay, fn, args)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute ``time``, without a handle."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time} < now={self.now})"
+            )
+        self._queue.push_fast(time, fn, args)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event returned by :meth:`schedule`.
 
@@ -51,38 +87,69 @@ class Simulator:
         """
         self._queue.cancel(event)
 
+    def stop(self) -> None:
+        """Ask a running :meth:`run` to return after the current callback.
+
+        Pending events stay queued; a later :meth:`run` resumes them.
+        The way replay drivers leave the loop the moment their last
+        record completes, without single-stepping the engine.
+        """
+        self._stop = True
+
     def run(self, until: Optional[float] = None) -> float:
         """Fire events in time order.
 
-        Runs until the queue drains, or until the clock would pass
-        ``until`` (the clock is then advanced exactly to ``until``).
-        Returns the final clock value.
+        Runs until the queue drains, until a callback calls
+        :meth:`stop`, or until the clock would pass ``until`` (the
+        clock is then advanced exactly to ``until``; it is *not*
+        advanced on :meth:`stop`). Returns the final clock value.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        self._stop = False
+        queue = self._queue
+        heap = queue._heap
+        fired = 0
         try:
-            queue = self._queue
-            while True:
-                next_time = queue.peek_time()
-                if next_time is None:
-                    # Queue drained before the horizon: idle until
-                    # ``until`` so the clock honours the docstring even
-                    # when no event lands exactly there (common with
-                    # fault timers leaving empty-queue idle periods).
-                    if until is not None and until > self.now:
+            if until is None:
+                # Hot loop: pop-then-check needs one heap operation per
+                # event, no peeking.
+                while heap and not self._stop:
+                    entry = heappop(heap)
+                    if entry[2]:  # lazily deleted (cancelled)
+                        continue
+                    entry[2] = STATE_FIRED
+                    queue._live -= 1
+                    self.now = entry[0]
+                    fired += 1
+                    entry[3](*entry[4])
+            else:
+                while not self._stop:
+                    while heap and heap[0][2] == STATE_CANCELLED:
+                        heappop(heap)
+                    if not heap:
+                        # Queue drained before the horizon: idle until
+                        # ``until`` so the clock honours the docstring
+                        # even when no event lands exactly there (common
+                        # with fault timers leaving empty-queue idle
+                        # periods).
+                        if until > self.now:
+                            self.now = until
+                        break
+                    entry = heap[0]
+                    if entry[0] > until:
                         self.now = until
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                event = queue.pop()
-                assert event is not None
-                self.now = event.time
-                self.events_fired += 1
-                event.fn(*event.args)
+                        break
+                    heappop(heap)
+                    entry[2] = STATE_FIRED
+                    queue._live -= 1
+                    self.now = entry[0]
+                    fired += 1
+                    entry[3](*entry[4])
         finally:
             self._running = False
+            self.events_fired += fired
         return self.now
 
     def step(self) -> bool:
@@ -93,14 +160,20 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.step() is not reentrant")
-        event = self._queue.pop()
-        if event is None:
+        queue = self._queue
+        heap = queue._heap
+        while heap and heap[0][2] == STATE_CANCELLED:
+            heappop(heap)
+        if not heap:
             return False
+        entry = heappop(heap)
+        entry[2] = STATE_FIRED
+        queue._live -= 1
         self._running = True
         try:
-            self.now = event.time
+            self.now = entry[0]
             self.events_fired += 1
-            event.fn(*event.args)
+            entry[3](*entry[4])
         finally:
             self._running = False
         return True

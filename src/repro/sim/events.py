@@ -1,118 +1,168 @@
-"""Event objects and the time-ordered event queue.
+"""Event heap entries and the time-ordered event queue.
 
-Events are ordered by ``(time, sequence)`` where the sequence number is a
-monotonically increasing tie-breaker, so two events scheduled for the
-same instant fire in scheduling order. Cancellation is O(1): the event is
-flagged and skipped when popped (lazy deletion), which keeps the heap
-simple and fast.
+Events are ordered by ``(time, sequence)`` where the sequence number is
+a monotonically increasing tie-breaker, so two events scheduled for the
+same instant fire in scheduling order. Cancellation is O(1): the entry
+is flagged and skipped when popped (lazy deletion), which keeps the
+heap simple and fast.
+
+The hot path stores each scheduled callback as a plain 6-slot *list* —
+``[time, seq, state, fn, args, handle]`` — rather than an object.
+``heapq`` then orders entries with C-level list comparison (``time``
+first, the unique ``seq`` as tie-breaker, so comparison never reaches
+the payload slots) instead of calling a Python ``__lt__`` per
+comparison, and scheduling allocates no Python object beyond the list
+itself. Replaying a million-request trace schedules millions of
+events, which made the old per-event ``Event.__init__`` plus ~5
+``__lt__`` calls per push/pop one of the simulator's largest costs.
+
+:class:`Event` survives as a thin *handle* over an entry, materialized
+only for callers that keep one to :meth:`~Event.cancel` later (timers,
+anticipation deadlines). :meth:`EventQueue.push` returns a handle;
+:meth:`EventQueue.push_fast` — the path
+:meth:`repro.sim.engine.Simulator.call_after` uses — returns nothing
+and allocates nothing but the entry.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
+
+#: Entry state values (slot 2). A pending entry is 0 so the hot loop's
+#: "is it cancelled?" check is a plain truthiness test.
+STATE_PENDING = 0
+STATE_CANCELLED = 1
+STATE_FIRED = 2
 
 
 class Event:
-    """A scheduled callback.
+    """Handle to a scheduled callback.
 
-    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`
-    and should be treated as opaque handles; the only useful public
-    operation is :meth:`cancel`.
+    Instances are created by :meth:`EventQueue.push` (via
+    :meth:`repro.sim.engine.Simulator.schedule`) and should be treated
+    as opaque; the only useful public operation is :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ("_queue", "_entry")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-        self.fired = False
+    def __init__(self, queue: "EventQueue", entry: list):
+        self._queue = queue
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[1]
+
+    @property
+    def fn(self) -> Callable[..., Any]:
+        return self._entry[3]
+
+    @property
+    def args(self) -> tuple:
+        return self._entry[4]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] == STATE_CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._entry[2] == STATE_FIRED
 
     def cancel(self) -> None:
-        """Prevent this event from firing (no-op if already fired)."""
-        if not self.fired:
-            self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        """Prevent this event from firing (no-op if fired/cancelled)."""
+        self._queue.cancel(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = " cancelled" if self.cancelled else ""
+        state = {STATE_CANCELLED: " cancelled", STATE_FIRED: " fired"}.get(self._entry[2], "")
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.4f} #{self.seq} {name}{state}>"
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of scheduled callbacks."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[list] = []
+        self._seq = 0
         self._live = 0
 
     def push(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> Event:
-        """Insert a new event at absolute ``time``; returns its handle."""
-        event = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, event)
-        self._live += 1
-        return event
+        """Insert a new event at absolute ``time``; returns its handle.
 
-    def _drop_cancelled_head(self) -> None:
-        """Discard cancelled events from the heap head (lazy deletion).
-
-        The only place cancelled entries leave the heap; their ``_live``
-        decrement already happened at cancellation time, so no
-        bookkeeping occurs here. Both :meth:`pop` and :meth:`peek_time`
-        go through this helper, keeping ``_live`` consistent with the
-        heap no matter which is called first.
+        Use :meth:`push_fast` when the caller will never cancel — it
+        skips the handle allocation entirely.
         """
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        entry = [time, self._seq, STATE_PENDING, fn, args, None]
+        self._seq += 1
+        handle = Event(self, entry)
+        entry[5] = handle
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return handle
+
+    def push_fast(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """Insert a new event at absolute ``time`` without a handle."""
+        heapq.heappush(self._heap, [time, self._seq, STATE_PENDING, fn, args, None])
+        self._seq += 1
+        self._live += 1
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``.
 
-        The returned event is marked ``fired``, which makes any later
+        The returned event is marked fired, which makes any later
         :meth:`cancel` on its handle a no-op instead of corrupting the
-        live count.
+        live count. A handle is materialized on demand for fast-path
+        entries, so this method is for tests and single-stepping — the
+        engine's run loop works on raw entries instead.
         """
-        self._drop_cancelled_head()
-        if not self._heap:
-            return None
-        event = heapq.heappop(self._heap)
-        event.fired = True
-        self._live -= 1
-        return event
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[2] == STATE_CANCELLED:
+                continue
+            entry[2] = STATE_FIRED
+            self._live -= 1
+            handle = entry[5]
+            if handle is None:
+                handle = entry[5] = Event(self, entry)
+            return handle
+        return None
 
     def peek_time(self) -> Optional[float]:
-        """Time of the earliest pending event, or ``None`` if empty."""
-        self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        """Time of the earliest pending event, or ``None`` if empty.
+
+        Discards cancelled entries from the heap head on the way (lazy
+        deletion; their ``_live`` decrement already happened at
+        cancellation time), so the count stays consistent with the heap
+        no matter whether :meth:`pop` or this runs first.
+        """
+        heap = self._heap
+        while heap and heap[0][2] == STATE_CANCELLED:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def cancel(self, event: Event) -> bool:
         """Cancel ``event`` if it is still pending; returns ``True`` if so.
 
         Safe to call with handles that already fired or were already
-        cancelled — both are no-ops, so ``_live`` never goes negative.
+        cancelled — both are no-ops, so the live count never goes
+        negative. This is the single source of truth for cancellation
+        bookkeeping (the deprecated ``note_cancelled`` escape hatch,
+        which decremented the count unconditionally and could drive it
+        negative, is gone).
         """
-        if event.fired or event.cancelled:
+        entry = event._entry
+        if entry[2] != STATE_PENDING:
             return False
-        event.cancelled = True
+        entry[2] = STATE_CANCELLED
         self._live -= 1
         return True
-
-    def note_cancelled(self) -> None:
-        """Bookkeeping hook: a live event was cancelled externally.
-
-        Deprecated in favour of :meth:`cancel`, which refuses fired
-        handles; kept for callers that flag events directly.
-        """
-        self._live -= 1
 
     def __len__(self) -> int:
         return self._live

@@ -52,7 +52,7 @@ class Resource:
             self._busy_since = self.sim.now
         self._in_use += 1
         self.total_acquisitions += 1
-        self.sim.schedule(0.0, fn, *args)
+        self.sim.call_after(0.0, fn, *args)
 
     def release(self) -> None:
         """Return a slot; the oldest waiter (if any) is granted next."""
@@ -70,17 +70,18 @@ class Resource:
 
         This is the common pattern for bus transfers: the resource is
         occupied for the transfer time and the completion continuation
-        runs immediately after release.
+        runs immediately after release. Implemented with bound methods
+        (grant event → timed finish event, same structure a closure pair
+        had) so the per-transfer hot path allocates no function objects.
         """
+        self.acquire(self._hold_start, duration, fn, args)
 
-        def _start() -> None:
-            def _finish() -> None:
-                self.release()
-                fn(*args)
+    def _hold_start(self, duration: float, fn: Callable[..., Any], args: tuple) -> None:
+        self.sim.call_after(duration, self._hold_finish, fn, args)
 
-            self.sim.schedule(duration, _finish)
-
-        self.acquire(_start)
+    def _hold_finish(self, fn: Callable[..., Any], args: tuple) -> None:
+        self.release()
+        fn(*args)
 
     @property
     def in_use(self) -> int:

@@ -26,6 +26,14 @@ class TestOpenLoopDriver:
         with pytest.raises(WorkloadError, match="timed trace"):
             OpenLoopDriver(system, trace)
 
+    def test_rejects_empty_trace(self, small_config):
+        """Regression: an empty timed trace must be a clear
+        WorkloadError, not a bare IndexError on ``trace[0]``."""
+        trace = Trace([], TraceMeta(coalesce_prob=0.0))
+        system = System(small_config)
+        with pytest.raises(WorkloadError, match="empty timed trace"):
+            OpenLoopDriver(system, trace)
+
     def test_rejects_nonpositive_accel(self, small_config):
         system = System(small_config)
         with pytest.raises(WorkloadError, match="accel"):
@@ -63,6 +71,95 @@ class TestOpenLoopDriver:
             elapsed = driver.run()
             results.append((elapsed, tuple(driver.record_latencies_ms)))
         assert results[0] == results[1]
+
+    def test_straggler_does_not_shift_later_arrivals(self, small_config):
+        """Regression: a reordered-capture straggler must issue
+        immediately without pushing later records off the trace's
+        absolute schedule.
+
+        The old pump chained relative deltas and clamped the negative
+        gap to zero, so every record after the straggler arrived late by
+        the straggler's backwards jump (here record 3 at 245 ms instead
+        of 150 ms).
+        """
+        records = [
+            TimedAccess([(0, 8)], False, 0.0),
+            TimedAccess([(64, 8)], False, 100.0),
+            TimedAccess([(128, 8)], False, 5.0),  # captured out of order
+            TimedAccess([(192, 8)], False, 150.0),
+        ]
+        trace = Trace(records, TraceMeta(coalesce_prob=0.0))
+        tracer = Tracer()
+        with tracing(tracer):
+            system = System(small_config)
+            driver = OpenLoopDriver(system, trace)
+            driver.run()
+        admits = {
+            e[7]["record"]: e[4]
+            for e in tracer.events
+            if e[3] == "replay.admit"
+        }
+        assert admits[1] == pytest.approx(100.0)
+        # The straggler issues as soon as its lateness is discovered —
+        # in the same arrival event as record 1, never by time travel.
+        assert admits[2] == pytest.approx(100.0)
+        # Record 3 stays on the absolute timeline: 150 ms, not 245 ms.
+        assert admits[3] == pytest.approx(150.0)
+
+    def test_same_instant_arrivals_admitted_together(self, small_config):
+        """A run of identical timestamps is admitted inside one arrival
+        event: every admit instant carries the same simulated time."""
+        records = [TimedAccess([(0, 8)], False, 0.0)] + [
+            TimedAccess([(i * 64, 8)], False, 10.0) for i in range(1, 6)
+        ]
+        trace = Trace(records, TraceMeta(coalesce_prob=0.0))
+        tracer = Tracer()
+        with tracing(tracer):
+            system = System(small_config)
+            OpenLoopDriver(system, trace).run()
+        admit_times = [
+            e[4] for e in tracer.events if e[3] == "replay.admit"
+        ]
+        assert admit_times[0] == pytest.approx(0.0)
+        assert admit_times[1:] == pytest.approx([10.0] * 5)
+
+    def test_batched_pump_deterministic_and_matches_closed_loop_seed(
+        self, small_config
+    ):
+        """Same-seed determinism over the batched pump, for both loops:
+        repeated closed-loop runs agree, repeated open-loop runs (with
+        same-instant batches) agree."""
+        from repro.host.streams import ReplayDriver
+
+        def batched_trace():
+            # bursts of three records per instant exercise the batch path
+            return Trace(
+                [
+                    TimedAccess(
+                        [((i * 64) % 4096, 8)], i % 4 == 0, (i // 3) * 4.0
+                    )
+                    for i in range(24)
+                ],
+                TraceMeta(n_streams=4, coalesce_prob=0.5),
+            )
+
+        open_results = []
+        closed_results = []
+        for _ in range(2):
+            system = System(small_config)
+            driver = OpenLoopDriver(system, batched_trace())
+            elapsed = driver.run()
+            open_results.append(
+                (elapsed, tuple(driver.record_latencies_ms))
+            )
+            system = System(small_config)
+            closed = ReplayDriver(system, batched_trace())
+            elapsed = closed.run()
+            closed_results.append(
+                (elapsed, tuple(closed.record_latencies_ms))
+            )
+        assert open_results[0] == open_results[1]
+        assert closed_results[0] == closed_results[1]
 
     def test_mid_trace_untimed_record_rejected(self, small_config):
         records = [

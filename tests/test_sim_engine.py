@@ -31,8 +31,7 @@ class TestEventQueue:
         queue = EventQueue()
         event = queue.push(1.0, lambda: None)
         keeper = queue.push(2.0, lambda: None)
-        event.cancel()
-        queue.note_cancelled()
+        assert queue.cancel(event)
         assert len(queue) == 1
         assert queue.pop() is keeper
         assert queue.pop() is None
@@ -42,8 +41,27 @@ class TestEventQueue:
         event = queue.push(1.0, lambda: None)
         queue.push(5.0, lambda: None)
         event.cancel()
-        queue.note_cancelled()
         assert queue.peek_time() == 5.0
+
+    def test_cancel_is_idempotent_and_live_count_never_goes_negative(self):
+        # Regression: the old ``note_cancelled`` escape hatch decremented
+        # the live count unconditionally, so cancelling a fired or
+        # already-cancelled handle drove ``len(queue)`` negative and made
+        # ``__bool__`` lie. ``cancel()`` must refuse non-pending entries.
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert queue.cancel(event)
+        assert not queue.cancel(event)  # second cancel is a no-op
+        event.cancel()  # handle-side cancel is a no-op too
+        assert len(queue) == 0
+        assert not queue
+
+        fired = queue.push(2.0, lambda: None)
+        assert queue.pop() is fired
+        assert not queue.cancel(fired)  # cancelling a fired handle is a no-op
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
 
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
     def test_pop_order_is_sorted_for_any_times(self, times):
@@ -204,3 +222,85 @@ class TestStepReentrancyRegression:
         sim.schedule(1.0, nested)
         sim.run()
         assert caught == [True]
+
+
+class TestEventQueueStress:
+    """Interleaved push/pop/cancel/peek against a reference model.
+
+    The queue's lazy deletion, fast-path entries without handles, and
+    the shared live counter all have to agree with a brute-force model
+    that sorts live entries by (time, push order).
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 20260808])
+    def test_randomized_interleaving_matches_model(self, seed):
+        import random
+
+        rnd = random.Random(seed)
+        queue = EventQueue()
+        fired = []
+        # push_index -> (time, handle or None); None marks push_fast
+        # entries, which can never be cancelled.
+        live = {}
+        push_index = 0
+
+        for _ in range(3000):
+            op = rnd.random()
+            if op < 0.45 or not live:
+                t = rnd.randrange(0, 400) / 4.0
+                if rnd.random() < 0.25:
+                    queue.push_fast(t, fired.append, (push_index,))
+                    live[push_index] = (t, None)
+                else:
+                    handle = queue.push(t, fired.append, (push_index,))
+                    live[push_index] = (t, handle)
+                push_index += 1
+            elif op < 0.65:
+                cancellable = [
+                    i for i, (_, h) in live.items() if h is not None
+                ]
+                if not cancellable:
+                    continue
+                idx = rnd.choice(cancellable)
+                _, handle = live.pop(idx)
+                if rnd.random() < 0.5:
+                    assert queue.cancel(handle)
+                else:
+                    handle.cancel()
+                assert handle.cancelled
+                # double cancellation is a refused no-op, not a
+                # live-count corruption
+                assert not queue.cancel(handle)
+            elif op < 0.85:
+                expected = (
+                    min(live.items(), key=lambda kv: (kv[1][0], kv[0]))
+                    if live
+                    else None
+                )
+                event = queue.pop()
+                if expected is None:
+                    assert event is None
+                else:
+                    idx, (t, handle) = expected
+                    assert event.time == t
+                    assert event.args == (idx,)
+                    if handle is not None:
+                        assert event is handle
+                    assert event.fired
+                    del live[idx]
+            else:
+                head = min(
+                    (t for t, _ in live.values()), default=None
+                )
+                assert queue.peek_time() == head
+            assert len(queue) == len(live)
+            assert bool(queue) == bool(live)
+
+        # Drain: the survivors come out in (time, push order).
+        expected_order = sorted(live.items(), key=lambda kv: (kv[1][0], kv[0]))
+        drained = []
+        while queue:
+            drained.append(queue.pop().args[0])
+        assert drained == [idx for idx, _ in expected_order]
+        assert queue.pop() is None
+        assert len(queue) == 0
