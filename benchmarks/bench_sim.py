@@ -7,7 +7,7 @@ about — how many trace records per wall-clock second a full
 end-to-end replay services, through the host decomposition, the staged
 controller pipeline, the mechanical drive model and the shared bus.
 
-Four scenarios cover the two replay disciplines over the two trace
+Five scenarios cover the two replay disciplines over the three trace
 sources:
 
 * ``closed_synthetic``  — fig03-style synthetic workload, closed-loop
@@ -19,6 +19,9 @@ sources:
   length), closed-loop.
 * ``open_ingested``     — the same capture open-loop at its own
   (time-warped) arrival times.
+* ``loadgen``           — a synthesized 5k-client population streamed
+  from :mod:`repro.loadgen` straight into the open-loop driver
+  (generation + replay fused, constant memory): the scale-sweep path.
 
 Output is ``BENCH_sim.json``: per scenario the wall seconds, the
 records/second, the pre-PR baseline records/second measured with this
@@ -52,6 +55,7 @@ from repro.experiments.techniques import ALL_TECHNIQUES
 from repro.experiments.trace_replay import _synthetic_timed
 from repro.ingest.detect import parse_source
 from repro.ingest.remap import AddressRemapper, infer_layout
+from repro.loadgen import build_layout, generate_records, preset_population
 from repro.workloads.trace import TimedAccess, Trace, TraceMeta
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -70,6 +74,7 @@ PRE_PR_BASELINE_RPS = {
     "open_synthetic": 16184.0,
     "closed_ingested": 9347.0,
     "open_ingested": 15321.0,
+    # "loadgen" has no pre-PR baseline: the subsystem landed in PR 7.
 }
 
 
@@ -128,6 +133,19 @@ def scenarios(scale: float = 1.0):
     yield (
         "open_ingested",
         lambda: _run(fio_runner, config, "segm", open_loop=True, accel=50.0),
+    )
+    pop_spec = preset_population(
+        "web3", n_clients=5_000, n_requests=int(10_000 * scale)
+    )
+    pop_layout = build_layout(pop_spec, seed=1)
+    pop_runner = TechniqueRunner(
+        pop_layout,
+        None,
+        trace_factory=lambda: generate_records(pop_spec, 1, layout=pop_layout),
+    )
+    yield (
+        "loadgen",
+        lambda: _run(pop_runner, config, "segm", open_loop=True, accel=50.0),
     )
 
 

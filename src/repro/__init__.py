@@ -79,6 +79,15 @@ from repro.faults import (
     uninstall_fault_profile,
 )
 from repro.hdc.cooperative import CooperativeHdc, plan_cooperative_pins
+from repro.loadgen import (
+    ClientClass,
+    PopulationSpec,
+    RateShaper,
+    ShaperSpec,
+    generate_records,
+    population_trace,
+    preset_population,
+)
 from repro.host.openloop import OpenLoopDriver
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
@@ -208,5 +217,13 @@ __all__ = [
     "ProxyServerWorkload",
     "FileServerSpec",
     "FileServerWorkload",
+    # load generation
+    "ClientClass",
+    "PopulationSpec",
+    "ShaperSpec",
+    "RateShaper",
+    "preset_population",
+    "generate_records",
+    "population_trace",
     "__version__",
 ]

@@ -30,6 +30,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    scale_sweep,
     table1,
     table2,
     trace_replay,
@@ -56,6 +57,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext_frag": ext_frag.main,
     "availability": availability.main,
     "trace_replay": trace_replay.main,
+    "scale_sweep": scale_sweep.main,
 }
 
 #: run(scale=..., seed=...) entry points (programmatic access).
@@ -78,6 +80,7 @@ RUNNERS: Dict[str, Callable] = {
     "ext_frag": ext_frag.run,
     "availability": availability.run,
     "trace_replay": trace_replay.run,
+    "scale_sweep": scale_sweep.run,
 }
 
 
@@ -116,4 +119,5 @@ SWEEPS: Dict[str, SweepSpec] = {
     "ext_frag": SweepSpec("frag_points", tuple(ext_frag.FRAG_POINTS)),
     "availability": SweepSpec("mtbf_s", tuple(availability.MTBF_S)),
     "trace_replay": SweepSpec("techniques", tuple(trace_replay.TECHNIQUE_KEYS)),
+    "scale_sweep": SweepSpec("clients", tuple(scale_sweep.CLIENT_COUNTS)),
 }

@@ -9,10 +9,11 @@ randomness — which is what makes "normalized I/O time" meaningful.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.array.striping import StripingLayout
 from repro.config import ReadAheadKind, SimConfig
+from repro.errors import WorkloadError
 from repro.experiments.techniques import Technique, technique_config
 from repro.fs.bitmap_builder import build_bitmaps
 from repro.fs.layout import FileSystemLayout
@@ -25,7 +26,7 @@ from repro.host.system import System
 from repro.metrics.collector import RunResult, collect_run_result
 from repro.obs.tracer import active_tracer
 from repro.readahead.bitmap import SequentialityBitmap
-from repro.workloads.trace import Trace
+from repro.workloads.trace import DiskAccess, Trace
 
 
 class TechniqueRunner:
@@ -34,15 +35,27 @@ class TechniqueRunner:
     def __init__(
         self,
         layout: FileSystemLayout,
-        trace: Trace,
+        trace: Optional[Trace],
         profile_trace: Optional[Trace] = None,
+        trace_factory: Optional[Callable[[], Iterable[DiskAccess]]] = None,
     ):
         """``profile_trace`` is the HDC history (§5): the *previous
         period's* accesses over the same layout. When omitted, pin sets
         are planned from the measured trace itself — §6.1's
-        perfect-knowledge assumption."""
+        perfect-knowledge assumption.
+
+        ``trace_factory`` replaces a materialized ``trace`` (pass
+        ``trace=None``) with a zero-arg callable returning a fresh
+        record iterable per call — each technique's replay, and the
+        HDC profile pass, pull their own lazy stream, so
+        million-record workloads (e.g. :mod:`repro.loadgen`
+        populations) are generated on the fly and never held in
+        memory."""
+        if trace is None and trace_factory is None:
+            raise WorkloadError("TechniqueRunner needs a trace or a trace_factory")
         self.layout = layout
         self.trace = trace
+        self.trace_factory = trace_factory
         self.profile_trace = profile_trace if profile_trace is not None else trace
         self._profile: Optional[BlockAccessProfiler] = None
         self._bitmaps: Dict[Tuple[int, int], List[SequentialityBitmap]] = {}
@@ -53,7 +66,13 @@ class TechniqueRunner:
     def profile(self) -> BlockAccessProfiler:
         """Block-access counts of the profile trace (computed once)."""
         if self._profile is None:
-            self._profile = BlockAccessProfiler.of(self.profile_trace)
+            source: Iterable[DiskAccess]
+            if self.profile_trace is not None:
+                source = self.profile_trace
+            else:
+                assert self.trace_factory is not None
+                source = self.trace_factory()
+            self._profile = BlockAccessProfiler.of(source)
         return self._profile
 
     def bitmaps_for(self, config: SimConfig) -> List[SequentialityBitmap]:
@@ -144,10 +163,11 @@ class TechniqueRunner:
             )
             manager.setup(timed=False)
 
+        source = self.trace if self.trace_factory is None else self.trace_factory()
         if open_loop:
             driver: ReplayDriver = OpenLoopDriver(
                 system,
-                self.trace,
+                source,
                 accel=accel,
                 coalesce_prob=coalesce_prob,
                 on_record_complete=on_record_complete,
@@ -156,7 +176,7 @@ class TechniqueRunner:
         else:
             driver = ReplayDriver(
                 system,
-                self.trace,
+                source,
                 n_streams=n_streams,
                 coalesce_prob=coalesce_prob,
                 on_record_complete=on_record_complete,

@@ -77,9 +77,17 @@ def run(
     open_loop: bool = True,
     accel: float = 1.0,
     hdc_kb: int = HDC_KB,
+    lazy: bool = False,
     verbose: bool = False,
 ) -> SeriesResult:
-    """Replay one timed trace under each technique in ``techniques``."""
+    """Replay one timed trace under each technique in ``techniques``.
+
+    ``lazy=True`` replays through a record *factory* instead of a
+    materialized trace: each technique re-reads the source (re-parsing
+    ``trace_path`` per replay in constant memory). Results are
+    identical to the materialized path — same records, same order,
+    same draws — which the regression tests assert.
+    """
     config = ultrastar_36z15_config(seed=seed)
     if trace_path is None:
         layout, trace = _synthetic_timed(scale, seed)
@@ -95,7 +103,30 @@ def run(
         x_label="technique",
         x_values=[ALL_TECHNIQUES[key].label for key in techniques],
     )
-    runner = TechniqueRunner(layout, trace)
+    if lazy:
+        if trace_path is None:
+            records = trace.records
+            factory = lambda: iter(records)  # noqa: E731
+        else:
+            remapper = AddressRemapper(config.array_blocks, mode="fold")
+
+            def factory():
+                _fmt, parsed = parse_source(trace_path)
+                return remapper.map_records(parsed)
+
+        runner = TechniqueRunner(
+            layout, None, profile_trace=trace, trace_factory=factory
+        )
+    else:
+        runner = TechniqueRunner(layout, trace)
+    # A factory stream has no meta, so the lazy path forwards the
+    # trace's stream count and coalesce probability explicitly —
+    # keeping both paths draw-for-draw identical.
+    meta_kwargs = (
+        {"n_streams": trace.meta.n_streams, "coalesce_prob": trace.meta.coalesce_prob}
+        if lazy
+        else {}
+    )
     for key in techniques:
         technique = ALL_TECHNIQUES[key]
         res = runner.run(
@@ -104,6 +135,7 @@ def run(
             hdc_bytes=hdc_kb * KB if technique.hdc else 0,
             open_loop=open_loop,
             accel=accel,
+            **meta_kwargs,
         )
         result.add_point("io_time_s", res.io_time_s)
         result.add_point("mean_lat_ms", res.mean_latency_ms)

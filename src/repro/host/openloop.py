@@ -22,7 +22,7 @@ offered-load process alongside the service pipeline.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from repro.errors import WorkloadError
 from repro.host.streams import HOST_TRACK, ReplayDriver
@@ -36,7 +36,7 @@ class OpenLoopDriver(ReplayDriver):
     def __init__(
         self,
         system: System,
-        trace: Trace,
+        trace: Union[Trace, Iterable[DiskAccess]],
         accel: float = 1.0,
         coalesce_prob: Optional[float] = None,
         on_record_complete: Optional[Callable[[DiskAccess], None]] = None,
@@ -44,13 +44,6 @@ class OpenLoopDriver(ReplayDriver):
         array=None,
         striping=None,
     ):
-        # Guard before touching trace[0] below: an empty trace must be a
-        # clear WorkloadError, never a bare IndexError.
-        if len(trace) == 0:
-            raise WorkloadError(
-                "cannot open-loop replay an empty timed trace "
-                "(no arrival timestamps to schedule)"
-            )
         super().__init__(
             system,
             trace,
@@ -65,7 +58,7 @@ class OpenLoopDriver(ReplayDriver):
             raise WorkloadError(f"accel must be positive, got {accel}")
         self.accel = accel
         self.records_admitted = 0
-        t0 = self._timestamp_of(trace[0])
+        t0 = self._timestamp_of(self._pending)
         if t0 is None:
             raise WorkloadError(
                 "open-loop replay needs a timed trace (TimedAccess records "
@@ -75,6 +68,12 @@ class OpenLoopDriver(ReplayDriver):
         #: arrival timeline every later record is scheduled against.
         self._t0 = t0
         self._start_time = 0.0
+
+    def _empty_message(self) -> str:
+        return (
+            "cannot open-loop replay an empty timed trace "
+            "(no arrival timestamps to schedule)"
+        )
 
     @staticmethod
     def _timestamp_of(record: DiskAccess) -> Optional[float]:
@@ -97,11 +96,8 @@ class OpenLoopDriver(ReplayDriver):
         # from ``_record_done`` (see ReplayDriver.run for why the queue
         # is never drained).
         sim.run()
-        if self.records_completed < self._total:
-            raise WorkloadError(
-                f"replay stalled: {self.records_completed}/{self._total} "
-                "records completed (event queue drained early)"
-            )
+        if self._pending is not None or self.records_completed < self.records_taken:
+            raise self._stall_error()
         self.finish_time = sim.now
         return sim.now - start
 
@@ -113,19 +109,20 @@ class OpenLoopDriver(ReplayDriver):
         reordering) issues immediately but never shifts later arrivals
         off the trace's schedule, and runs of same-instant arrivals are
         admitted inside one event instead of a chain of zero-delay
-        events.
+        events. The one-record lookahead (``self._pending``) supplies
+        the next arrival's timestamp without consuming it, so lazy
+        iterator sources schedule exactly like materialized traces.
         """
         sim = self.system.sim
-        trace = self.trace
         tracer = self.system.tracer
-        total = self._total
         start = self._start_time
         t0 = self._t0
         accel = self.accel
         while True:
-            index = self._next_index
-            record = trace[index]
-            self._next_index += 1
+            record = self._take()
+            if record is None:  # pragma: no cover — arrivals never over-arm
+                return
+            index = self.records_admitted
             self.records_admitted += 1
             if tracer.enabled:
                 tracer.instant(
@@ -135,13 +132,13 @@ class OpenLoopDriver(ReplayDriver):
                     in_flight=self.in_flight,
                 )
             self._issue_record(record, stream_id=index)
-            nxt = self._next_index
-            if nxt >= total:
+            nxt = self._pending
+            if nxt is None:
                 return
-            ts = self._timestamp_of(trace[nxt])
+            ts = self._timestamp_of(nxt)
             if ts is None:
                 raise WorkloadError(
-                    f"record {nxt} has no timestamp — "
+                    f"record {self.records_taken} has no timestamp — "
                     "open-loop replay needs a fully timed trace"
                 )
             target = start + (ts - t0) / accel

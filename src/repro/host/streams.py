@@ -29,14 +29,14 @@ controllers with duplicate work no real host generates.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.controller.commands import DiskCommand
 from repro.errors import WorkloadError
 from repro.host.system import System
 from repro.obs.metrics import Histogram, default_latency_buckets_ms
 from repro.oscache.coalesce import Coalescer
-from repro.workloads.trace import DiskAccess, Trace
+from repro.workloads.trace import DiskAccess, Trace, TraceMeta
 
 #: Tracer track carrying one async span per replayed trace record.
 HOST_TRACK = "host"
@@ -48,7 +48,7 @@ class ReplayDriver:
     def __init__(
         self,
         system: System,
-        trace: Trace,
+        trace: Union[Trace, Iterable[DiskAccess]],
         n_streams: Optional[int] = None,
         coalesce_prob: Optional[float] = None,
         on_record_complete: Optional[Callable[[DiskAccess], None]] = None,
@@ -59,23 +59,42 @@ class ReplayDriver:
         """``array``/``striping`` override the system's plain array with
         a RAID wrapper (e.g. :class:`~repro.array.raid.MirroredArray`) —
         the wrapper's ``submit_command`` and its logical-capacity
-        striping view replace the defaults for decomposition/issue."""
-        if len(trace) == 0:
-            raise WorkloadError("cannot replay an empty trace")
+        striping view replace the defaults for decomposition/issue.
+
+        ``trace`` may be a materialized :class:`Trace` or any iterable
+        of records — in particular a lazy generator, which the driver
+        pulls one record ahead of issue, so million-record sources
+        (:mod:`repro.loadgen` streams, re-parsed captures) never reside
+        in memory. Iterables without ``.meta`` use the
+        :class:`TraceMeta` defaults for the stream count and coalesce
+        probability."""
+        meta = getattr(trace, "meta", None)
+        if meta is None:
+            meta = TraceMeta()
+        try:
+            self._total: Optional[int] = len(trace)  # type: ignore[arg-type]
+        except TypeError:
+            self._total = None
         self.system = system
         self.array = array if array is not None else system.array
         self.striping = striping if striping is not None else system.striping
         self.trace = trace
-        self.n_streams = n_streams if n_streams is not None else trace.meta.n_streams
+        self._source: Iterator[DiskAccess] = iter(trace)
+        #: One-record lookahead: the next record to issue (None once
+        #: the source is exhausted).
+        self._pending: Optional[DiskAccess] = next(self._source, None)
+        if self._pending is None:
+            raise WorkloadError(self._empty_message())
+        self.n_streams = n_streams if n_streams is not None else meta.n_streams
         if self.n_streams < 1:
             raise WorkloadError(f"need >=1 stream, got {self.n_streams}")
-        prob = coalesce_prob if coalesce_prob is not None else trace.meta.coalesce_prob
+        prob = coalesce_prob if coalesce_prob is not None else meta.coalesce_prob
         self.coalescer = Coalescer(
             prob, rng=system.streams.stream("host.coalesce")
         )
         self.on_record_complete = on_record_complete
-        self._next_index = 0
-        self._total = len(trace)
+        #: Records taken from the source and issued so far.
+        self.records_taken = 0
         self.records_completed = 0
         self.commands_issued = 0
         #: Commands that completed with ``error`` set (fault mode only).
@@ -101,8 +120,10 @@ class ReplayDriver:
         """Replay the whole trace; returns the total I/O time in ms."""
         sim = self.system.sim
         start = sim.now
-        for stream_id in range(min(self.n_streams, self._total)):
+        stream_id = 0
+        while stream_id < self.n_streams and self._pending is not None:
             self._start_next(stream_id)
+            stream_id += 1
         # Run the engine's internal loop; the completion of the last
         # record calls ``sim.stop()`` from ``_record_done``, which ends
         # the run without draining the queue — periodic background
@@ -110,21 +131,35 @@ class ReplayDriver:
         # rescheduling itself and would otherwise prevent the run from
         # ever terminating.
         sim.run()
-        if self.records_completed < self._total:
-            raise WorkloadError(
-                f"replay stalled: {self.records_completed}/{self._total} "
-                "records completed (event queue drained early)"
-            )
+        if self._pending is not None or self.records_completed < self.records_taken:
+            raise self._stall_error()
         self.finish_time = sim.now
         return sim.now - start
 
     # -- stream engine --------------------------------------------------
 
+    def _empty_message(self) -> str:
+        return "cannot replay an empty trace"
+
+    def _stall_error(self) -> WorkloadError:
+        total = self._total if self._total is not None else self.records_taken
+        return WorkloadError(
+            f"replay stalled: {self.records_completed}/{total} "
+            "records completed (event queue drained early)"
+        )
+
+    def _take(self) -> Optional[DiskAccess]:
+        """Consume the lookahead record and refill it from the source."""
+        record = self._pending
+        if record is not None:
+            self._pending = next(self._source, None)
+            self.records_taken += 1
+        return record
+
     def _start_next(self, stream_id: int) -> None:
-        if self._next_index >= self._total:
+        record = self._take()
+        if record is None:
             return
-        record = self.trace[self._next_index]
-        self._next_index += 1
         self._issue_record(record, stream_id)
 
     def _issue_record(self, record: DiskAccess, stream_id: int) -> None:
@@ -246,7 +281,7 @@ class ReplayDriver:
         self.records_completed += 1
         if self.on_record_complete is not None:
             self.on_record_complete(record)
-        if self.records_completed >= self._total:
+        if self._pending is None and self.records_completed >= self.records_taken:
             self.system.sim.stop()
             return
         self._start_next(stream_id)

@@ -1,0 +1,59 @@
+"""Client-population load generation (``repro.loadgen``).
+
+The paper replays fixed traces; the ROADMAP north star is a server
+under *population* load — thousands to millions of clients, each
+cycling through sessions of think-time-separated requests. This
+package synthesizes that offered load as a **lazy, constant-memory
+stream** of :class:`~repro.workloads.trace.TimedAccess` records,
+directly consumable by the open-loop replay driver:
+
+* :class:`~repro.loadgen.spec.ClientClass` — one behavioral cohort
+  (request-size / think-time / session-length distributions, write
+  mix, Zipf file popularity);
+* :class:`~repro.loadgen.spec.PopulationSpec` — a named mix of
+  classes over a shared file-system layout;
+* :class:`~repro.loadgen.shaper.RateShaper` — diurnal + flash-crowd
+  modulation of the aggregate arrival rate via a deterministic
+  time-warp;
+* :func:`~repro.loadgen.generate.generate_records` — the k-way
+  timestamp merge over per-class session streams.
+
+Everything expands deterministically from ``(spec, seed)`` through
+named RNG streams (the :mod:`repro.faults` idiom), so generated
+workloads are reproducible and cacheable: the same spec and seed
+produce the same byte stream, serially or across a process pool.
+
+CLI: ``python -m repro.loadgen emit|stats`` — see
+:mod:`repro.loadgen.cli`.
+"""
+
+from repro.loadgen.generate import (
+    build_layout,
+    generate_records,
+    population_trace,
+    spec_meta,
+)
+from repro.loadgen.session import ClientClassStream
+from repro.loadgen.shaper import RateShaper, expand_burst_windows
+from repro.loadgen.spec import (
+    PRESETS,
+    ClientClass,
+    PopulationSpec,
+    ShaperSpec,
+    preset_population,
+)
+
+__all__ = [
+    "ClientClass",
+    "ClientClassStream",
+    "PopulationSpec",
+    "PRESETS",
+    "RateShaper",
+    "ShaperSpec",
+    "build_layout",
+    "expand_burst_windows",
+    "generate_records",
+    "population_trace",
+    "preset_population",
+    "spec_meta",
+]

@@ -1,0 +1,119 @@
+"""Expand ``(PopulationSpec, seed)`` into a lazy merged record stream.
+
+The merge is ``heapq.merge`` over the per-class session streams keyed
+on timestamp — a k-way heap that holds exactly one lookahead record
+per class, so the full trace is never materialized. ``heapq.merge`` is
+stable, so same-instant records across classes tie-break by class
+declaration order and the merged stream is deterministic byte-for-byte
+from ``(spec, seed)`` — the property the scale sweep's serial-vs-
+parallel identity check and the result cache rely on.
+
+The shared file-system layout is itself part of the expansion
+(``loadgen.fs.{sizes,layout}`` streams): lognormal file sizes around
+the spec mean, laid out sequentially with optional fragmentation —
+the same construction the paper's server workloads use.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import islice
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.fs.layout import FileSystemLayout
+from repro.loadgen.session import ClientClassStream
+from repro.loadgen.shaper import RateShaper, expand_burst_windows
+from repro.loadgen.spec import PopulationSpec
+from repro.sim.rng import RandomStreams
+from repro.workloads.filesize import sample_file_sizes_blocks
+from repro.workloads.trace import TimedAccess, Trace, TraceMeta
+
+
+def build_layout(spec: PopulationSpec, seed: int) -> FileSystemLayout:
+    """The population's shared file-system layout (deterministic)."""
+    spec.validate()
+    streams = RandomStreams(seed)
+    sizes = sample_file_sizes_blocks(
+        spec.n_files,
+        spec.mean_file_kb * 1024.0,
+        spec.block_size,
+        rng=streams.stream("loadgen.fs.sizes"),
+        sigma=spec.file_size_sigma,
+    )
+    return FileSystemLayout.build(
+        sizes,
+        spec.total_blocks,
+        frag_prob=spec.frag_prob,
+        rng=streams.stream("loadgen.fs.layout"),
+    )
+
+
+def spec_meta(spec: PopulationSpec, layout: Optional[FileSystemLayout] = None) -> TraceMeta:
+    """Trace metadata describing an emitted population workload."""
+    return TraceMeta(
+        name=f"loadgen:{spec.name}",
+        n_files=spec.n_files,
+        footprint_blocks=layout.footprint_blocks if layout is not None else 0,
+        n_streams=spec.n_streams,
+        coalesce_prob=spec.coalesce_prob,
+        block_size=spec.block_size,
+        extra={
+            "n_clients": spec.n_clients,
+            "n_requests": spec.n_requests,
+            "classes": ",".join(c.name for c in spec.classes),
+        },
+    )
+
+
+def generate_records(
+    spec: PopulationSpec,
+    seed: int,
+    layout: Optional[FileSystemLayout] = None,
+    n_records: Optional[int] = None,
+) -> Iterator[TimedAccess]:
+    """Lazily generate the population's merged ``TimedAccess`` stream.
+
+    Constant memory in both the population size (only *active*
+    sessions are held, see :mod:`repro.loadgen.session`) and the
+    stream length (records are yielded one at a time). Pass a
+    prebuilt ``layout`` (from :func:`build_layout` with the same seed)
+    to skip rebuilding it per call; ``n_records`` overrides the spec's
+    request cap.
+    """
+    spec.validate()
+    if layout is None:
+        layout = build_layout(spec, seed)
+    windows = expand_burst_windows(spec.shaper, seed)
+    streams = RandomStreams(seed)
+    counts = spec.class_population()
+    class_streams = []
+    for cls in spec.classes:
+        population = counts[cls.name]
+        if population < 1:
+            continue  # a tiny population rounded this class to zero seats
+        shaper = RateShaper(spec.shaper, windows=windows)
+        class_streams.append(
+            iter(
+                ClientClassStream(
+                    cls, population, layout, streams, shaper,
+                    block_size=spec.block_size,
+                )
+            )
+        )
+    if not class_streams:
+        raise WorkloadError(f"{spec.name}: every class rounded to zero clients")
+    cap = spec.n_requests if n_records is None else n_records
+    merged: Iterator[TimedAccess] = heapq.merge(
+        *class_streams, key=lambda record: record.timestamp_ms
+    )
+    return islice(merged, cap)
+
+
+def population_trace(
+    spec: PopulationSpec, seed: int
+) -> Tuple[FileSystemLayout, Trace]:
+    """Materialize the stream as a :class:`Trace` (small specs only)."""
+    layout = build_layout(spec, seed)
+    records = list(generate_records(spec, seed, layout=layout))
+    return layout, Trace(records, spec_meta(spec, layout))

@@ -1,0 +1,153 @@
+"""Per-class session streams: the client lifecycle, lazily expanded.
+
+A client of a class cycles *idle -> session -> idle*. Rather than
+simulate every idle client (a million mostly-sleeping objects), the
+stream exploits the standard superposition result: the union of ``N``
+i.i.d. sparse renewal processes is asymptotically Poisson with rate
+``N / cycle_ms``. Session *arrivals* are therefore drawn as one
+exponential process per class (warped by the
+:class:`~repro.loadgen.shaper.RateShaper`), and only *active* sessions
+live in memory — a heap of (next-request time, session) entries. With
+realistic duty cycles (seconds of thinking inside minutes-long idle
+cycles) the active set is ~1-2% of the population, so a million-client
+class costs a few tens of thousands of heap entries, independent of
+how many records are ultimately generated.
+
+Per-session behavior: a geometric number of requests over one file
+drawn from the class's Zipf popularity law (rank decorrelated from
+disk position by a per-class permutation, as the server workloads do);
+each request continues sequentially from the cursor unless a
+``jump_prob`` draw re-targets a fresh file/offset, or the cursor hits
+end-of-file (then the next popularity draw restarts at offset 0).
+
+All randomness comes from three named streams per class —
+``loadgen.<class>.{arrivals,behavior,popularity}`` plus
+``loadgen.<class>.perm`` — so each class's stream is reproducible in
+isolation and classes never perturb each other's draws.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Tuple
+
+from repro.fs.layout import FileSystemLayout
+from repro.loadgen.shaper import RateShaper
+from repro.loadgen.spec import ClientClass
+from repro.sim.rng import RandomStreams
+from repro.workloads.trace import TimedAccess
+from repro.workloads.zipf import ZipfSampler
+
+
+class _Session:
+    """One active session: who, how many requests left, file cursor."""
+
+    __slots__ = ("client", "remaining", "file_id", "offset")
+
+    def __init__(self, client: int, remaining: int):
+        self.client = client
+        self.remaining = remaining
+        self.file_id = -1  # popularity draw deferred to the first request
+        self.offset = 0
+
+
+class ClientClassStream:
+    """Lazy, timestamp-ordered ``TimedAccess`` stream for one class.
+
+    Iterating yields an unbounded stream (the population never goes
+    home); cap it with ``itertools.islice`` or let the merge in
+    :func:`repro.loadgen.generate.generate_records` do so.
+    """
+
+    def __init__(
+        self,
+        cls: ClientClass,
+        population: int,
+        layout: FileSystemLayout,
+        streams: RandomStreams,
+        shaper: RateShaper,
+        block_size: int = 4096,
+    ):
+        cls.validate()
+        if population < 1:
+            raise ValueError(f"{cls.name}: need >= 1 client, got {population}")
+        self.cls = cls
+        self.population = population
+        self.layout = layout
+        self.shaper = shaper
+        prefix = f"loadgen.{cls.name}"
+        self._arrivals = streams.stream(f"{prefix}.arrivals")
+        self._behavior = streams.stream(f"{prefix}.behavior")
+        self._perm = streams.stream(f"{prefix}.perm").permutation(layout.n_files)
+        self._ranks = ZipfSampler(
+            layout.n_files, cls.zipf_alpha,
+            rng=streams.stream(f"{prefix}.popularity"),
+        ).iter_ranks()
+        self._mean_request_blocks = max(
+            1.0, cls.mean_request_kb * 1024.0 / block_size
+        )
+
+    # -- session plumbing ------------------------------------------------
+
+    def _pick_file(self) -> int:
+        return int(self._perm[next(self._ranks)])
+
+    def _emit(self, sess: _Session, ts: float) -> TimedAccess:
+        """Advance one session by one request and build its record."""
+        cls = self.cls
+        beh = self._behavior
+        layout = self.layout
+        if sess.file_id < 0:
+            sess.file_id = self._pick_file()
+            sess.offset = int(
+                beh.integers(layout.file(sess.file_id).size_blocks)
+            )
+        elif sess.offset >= layout.file(sess.file_id).size_blocks:
+            # Cursor ran off the end: sequential restart on a new file.
+            sess.file_id = self._pick_file()
+            sess.offset = 0
+        elif float(beh.random()) < cls.jump_prob:
+            sess.file_id = self._pick_file()
+            sess.offset = int(
+                beh.integers(layout.file(sess.file_id).size_blocks)
+            )
+        size = layout.file(sess.file_id).size_blocks
+        n_blocks = int(beh.exponential(self._mean_request_blocks)) + 1
+        n_blocks = min(n_blocks, size - sess.offset)
+        runs = layout.partial_runs(sess.file_id, sess.offset, n_blocks)
+        is_write = bool(float(beh.random()) < cls.write_fraction)
+        sess.offset += n_blocks
+        return TimedAccess(runs, is_write, timestamp_ms=ts)
+
+    def __iter__(self) -> Iterator[TimedAccess]:
+        cls = self.cls
+        arrivals = self._arrivals
+        behavior = self._behavior
+        warp = self.shaper.warp
+        # Poisson superposition: N clients, one session per cycle_ms
+        # each, arriving memorylessly in warped (unit-rate) time.
+        rate_per_ms = self.population / cls.cycle_ms
+        session_p = 1.0 / cls.mean_session_requests
+        heap: List[Tuple[float, int, _Session]] = []
+        tie = itertools.count()
+        u_next = float(arrivals.exponential(1.0)) / rate_per_ms
+        next_arrival = warp(u_next)
+        while True:
+            if heap and heap[0][0] <= next_arrival:
+                ts, _, sess = heapq.heappop(heap)
+                yield self._emit(sess, ts)
+                sess.remaining -= 1
+                if sess.remaining > 0:
+                    think = float(behavior.exponential(cls.mean_think_ms))
+                    heapq.heappush(heap, (ts + think, next(tie), sess))
+                # else: the session departs; the client goes idle and
+                # is re-absorbed into the aggregate arrival process.
+            else:
+                client = int(arrivals.integers(self.population))
+                length = int(arrivals.geometric(session_p))
+                heapq.heappush(
+                    heap, (next_arrival, next(tie), _Session(client, length))
+                )
+                u_next += float(arrivals.exponential(1.0)) / rate_per_ms
+                next_arrival = warp(u_next)

@@ -1,0 +1,162 @@
+"""Arrival-rate modulation as a deterministic time-warp.
+
+Per-class session arrivals are generated as a *homogeneous* unit-rate
+process in warped time ``u`` and mapped to simulated time through the
+inverse of the cumulative rate function::
+
+    m(t) = 1 + A*sin(2*pi*t/P) + B * [t inside a burst window]
+    M(t) = integral of m over [0, t]          (closed form below)
+    t_i  = M^{-1}(u_i)
+
+This is the standard inversion construction for inhomogeneous Poisson
+processes: where ``m`` is high, equal ``u`` increments map to short
+``t`` gaps (arrivals bunch up — a flash crowd); where ``m`` is low
+they stretch out. Because ``A < 1`` keeps ``m`` strictly positive,
+``M`` is strictly increasing and the inversion is exact — no thinning,
+no clamping, so the warp preserves determinism draw-for-draw.
+
+Burst windows are expanded once from the named RNG stream
+``loadgen.shaper.bursts`` (exponential gaps up to the spec horizon),
+the :mod:`repro.faults` schedule idiom: the schedule is a pure
+function of ``(spec, seed)`` and independent of everything else drawn
+from the run seed.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.loadgen.spec import ShaperSpec
+from repro.sim.rng import RandomStreams
+
+#: Named RNG stream the burst schedule is expanded from.
+BURST_STREAM = "loadgen.shaper.bursts"
+
+Windows = Tuple[Tuple[float, float], ...]
+
+
+def expand_burst_windows(spec: ShaperSpec, seed: int) -> Windows:
+    """Expand the spec's flash-crowd schedule for ``seed``.
+
+    Exponential inter-burst gaps (mean ``3.6e6 / burst_rate_per_hour``
+    ms) up to ``horizon_ms``; windows are non-overlapping by
+    construction (the next gap starts where the last window ended).
+    """
+    spec.validate()
+    if spec.burst_rate_per_hour <= 0:
+        return ()
+    rng = RandomStreams(seed).stream(BURST_STREAM)
+    gap_mean = 3_600_000.0 / spec.burst_rate_per_hour
+    windows = []
+    t = float(rng.exponential(gap_mean))
+    while t < spec.horizon_ms:
+        end = t + spec.burst_duration_ms
+        windows.append((t, end))
+        t = end + float(rng.exponential(gap_mean))
+    return tuple(windows)
+
+
+class RateShaper:
+    """Warps unit-rate arrival times through ``M^{-1}``.
+
+    One instance per arrival stream: :meth:`warp` assumes its inputs
+    are non-decreasing (each call brackets the root from the previous
+    result). Pass precomputed ``windows`` to share one burst schedule
+    across several per-class shapers without re-drawing it.
+    """
+
+    def __init__(
+        self,
+        spec: ShaperSpec,
+        seed: int = 0,
+        windows: Optional[Windows] = None,
+    ):
+        spec.validate()
+        self.spec = spec
+        self.windows: Windows = (
+            windows if windows is not None else expand_burst_windows(spec, seed)
+        )
+        self._identity = spec.is_identity and not self.windows
+        self._amplitude = (
+            spec.diurnal_amplitude if spec.diurnal_period_ms > 0 else 0.0
+        )
+        self._period = spec.diurnal_period_ms
+        self._magnitude = spec.burst_magnitude if self.windows else 0.0
+        self._starts = tuple(w[0] for w in self.windows)
+        self._ends = tuple(w[1] for w in self.windows)
+        # Total window length strictly before window i, for O(log n)
+        # cumulative-overlap queries.
+        prefix = [0.0]
+        for start, end in self.windows:
+            prefix.append(prefix[-1] + (end - start))
+        self._prefix = tuple(prefix)
+        self._last_t = 0.0
+
+    # -- the rate function and its integral -----------------------------
+
+    def rate(self, t: float) -> float:
+        """Instantaneous rate multiplier ``m(t)`` (always > 0)."""
+        m = 1.0
+        if self._amplitude:
+            m += self._amplitude * math.sin(2.0 * math.pi * t / self._period)
+        if self._magnitude and self._burst_active(t):
+            m += self._magnitude
+        return m
+
+    def cumulative(self, t: float) -> float:
+        """``M(t)``: warped time accumulated by simulated time ``t``."""
+        if t < 0:
+            raise WorkloadError(f"cumulative rate needs t >= 0, got {t}")
+        u = t
+        if self._amplitude:
+            half_period = self._period / (2.0 * math.pi)
+            u += self._amplitude * half_period * (
+                1.0 - math.cos(2.0 * math.pi * t / self._period)
+            )
+        if self._magnitude:
+            u += self._magnitude * self._burst_overlap(t)
+        return u
+
+    def _burst_active(self, t: float) -> bool:
+        i = bisect_right(self._starts, t)
+        return i > 0 and t < self._ends[i - 1]
+
+    def _burst_overlap(self, t: float) -> float:
+        """Total burst-window time inside ``[0, t]``."""
+        i = bisect_right(self._starts, t)
+        if i == 0:
+            return 0.0
+        return self._prefix[i] - max(0.0, self._ends[i - 1] - t)
+
+    # -- the inverse -----------------------------------------------------
+
+    def warp(self, u: float) -> float:
+        """``M^{-1}(u)`` for a non-decreasing sequence of ``u``.
+
+        Safeguarded Newton: since ``m >= 1 - A > 0`` everywhere and
+        ``M(t) >= t`` (both modulation terms integrate non-negative),
+        the root lies in ``[last_t, u]``; Newton steps outside that
+        bracket fall back to bisection.
+        """
+        if u < 0:
+            raise WorkloadError(f"warp needs u >= 0, got {u}")
+        if self._identity:
+            return u
+        lo = self._last_t
+        hi = max(u, lo)
+        t = hi
+        for _ in range(200):
+            f = self.cumulative(t) - u
+            if abs(f) <= 1e-9 * max(1.0, u):
+                break
+            if f > 0.0:
+                hi = t
+            else:
+                lo = t
+            step = t - f / self.rate(t)
+            t = step if lo < step < hi else 0.5 * (lo + hi)
+        self._last_t = t
+        return t

@@ -13,7 +13,7 @@ predict HDC hit rates analytically (§5).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -59,6 +59,21 @@ class ZipfSampler:
     def sample_one(self) -> int:
         """Draw a single rank."""
         return int(self.sample(1)[0])
+
+    def iter_ranks(self, chunk: int = 1024) -> Iterator[int]:
+        """Endless lazy rank stream, drawing ``chunk`` at a time.
+
+        The generator's uniform draws are consumed element-by-element
+        regardless of chunking, so the first ``k`` yields equal
+        ``sample(k)`` on a same-seeded sampler draw-for-draw — one
+        Zipf implementation serves both the vectorised workload
+        builders and streaming consumers like :mod:`repro.loadgen`.
+        """
+        if chunk < 1:
+            raise WorkloadError(f"chunk must be >= 1, got {chunk}")
+        while True:
+            for rank in self.sample(chunk):
+                yield int(rank)
 
     def probability(self, rank: int) -> float:
         """Probability of the item with the given rank (0-based)."""

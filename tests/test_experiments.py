@@ -156,6 +156,7 @@ class TestRegistryAndCli:
         expected |= {"table1", "table2", "validation", "ext_frag"}
         expected |= {"availability"}  # fault-injection extension
         expected |= {"trace_replay"}  # real-trace ingestion extension
+        expected |= {"scale_sweep"}  # client-population scale extension
         assert set(EXPERIMENTS) == expected
         assert set(RUNNERS) == expected
 

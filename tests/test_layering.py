@@ -64,6 +64,23 @@ def test_checker_flags_ingest_controller_import(tmp_path, monkeypatch):
     assert len(errors) == 1 and "ingest" in errors[0]
 
 
+def test_checker_flags_loadgen_consumer_import(tmp_path, monkeypatch):
+    """Loadgen producing records for the host is one-way: a planted
+    import of the replay machinery trips rule 7."""
+    checker = load_checker()
+    src = tmp_path / "src"
+    loadgen = src / "repro" / "loadgen"
+    loadgen.mkdir(parents=True)
+    (loadgen / "sneaky.py").write_text(
+        "from repro.host.streams import ReplayDriver\n"
+        "from repro.workloads.trace import TimedAccess\n"  # allowed
+    )
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_loadgen_independence(errors)
+    assert len(errors) == 1 and "repro.host.streams" in errors[0]
+
+
 def test_checker_flags_private_cross_import(tmp_path, monkeypatch):
     checker = load_checker()
     src = tmp_path / "src"

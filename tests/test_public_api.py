@@ -39,6 +39,7 @@ def test_all_has_no_duplicates():
         "repro.host",
         "repro.workloads",
         "repro.ingest",
+        "repro.loadgen",
         "repro.analysis",
         "repro.metrics",
         "repro.obs",

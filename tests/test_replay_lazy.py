@@ -1,0 +1,205 @@
+"""Lazy iterator sources replay identically to materialized traces."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments import trace_replay
+from repro.experiments.runner import TechniqueRunner
+from repro.experiments.techniques import ALL_TECHNIQUES
+from repro.host.openloop import OpenLoopDriver
+from repro.host.streams import ReplayDriver
+from repro.host.system import System
+from repro.loadgen import population_trace, preset_population
+from repro.units import KB
+from repro.workloads.trace import DiskAccess, TimedAccess, Trace, TraceMeta
+
+
+def timed_records(n=20, gap_ms=5.0, stride=64):
+    return [
+        TimedAccess([((i * stride) % 4096, 8)], i % 3 == 0, i * gap_ms)
+        for i in range(n)
+    ]
+
+
+def timed_trace(n=20, gap_ms=5.0, stride=64):
+    return Trace(
+        timed_records(n, gap_ms, stride),
+        TraceMeta(n_streams=4, coalesce_prob=0.0),
+    )
+
+
+def driver_fingerprint(driver):
+    return (
+        driver.records_completed,
+        driver.commands_issued,
+        driver.reads_merged,
+        driver.finish_time,
+        tuple(driver.record_latencies_ms),
+    )
+
+
+class TestClosedLoopLazy:
+    def test_generator_source_matches_trace(self, small_config):
+        trace = timed_trace(30)
+        baseline = ReplayDriver(System(small_config), trace)
+        baseline.run()
+
+        system = System(small_config)
+        lazy = ReplayDriver(
+            system, iter(trace.records), n_streams=4, coalesce_prob=0.0
+        )
+        lazy.run()
+        assert driver_fingerprint(lazy) == driver_fingerprint(baseline)
+
+    def test_generator_without_meta_uses_defaults(self, small_config):
+        """A bare generator falls back to TraceMeta defaults."""
+        driver = ReplayDriver(
+            System(small_config), iter(timed_records(5)), coalesce_prob=0.0
+        )
+        assert driver.n_streams == TraceMeta().n_streams
+        driver.run()
+        assert driver.records_completed == 5
+
+    def test_empty_generator_rejected(self, small_config):
+        with pytest.raises(WorkloadError, match="empty trace"):
+            ReplayDriver(System(small_config), iter([]))
+
+    def test_records_taken_tracks_consumption(self, small_config):
+        driver = ReplayDriver(
+            System(small_config), iter(timed_records(12)),
+            n_streams=2, coalesce_prob=0.0,
+        )
+        driver.run()
+        assert driver.records_taken == 12
+        assert driver.records_completed == 12
+
+
+class TestOpenLoopLazy:
+    def test_generator_source_matches_trace(self, small_config):
+        trace = timed_trace(30, gap_ms=2.0)
+        baseline = OpenLoopDriver(System(small_config), trace)
+        baseline.run()
+
+        lazy = OpenLoopDriver(
+            System(small_config), iter(trace.records), coalesce_prob=0.0
+        )
+        lazy.run()
+        assert driver_fingerprint(lazy) == driver_fingerprint(baseline)
+        assert lazy.records_admitted == 30
+
+    def test_empty_generator_rejected(self, small_config):
+        with pytest.raises(WorkloadError, match="empty timed trace"):
+            OpenLoopDriver(System(small_config), iter([]))
+
+    def test_untimed_first_record_rejected(self, small_config):
+        source = iter([DiskAccess([(0, 8)])])
+        with pytest.raises(WorkloadError, match="timed trace"):
+            OpenLoopDriver(System(small_config), source)
+
+    def test_untimed_mid_stream_record_rejected(self, small_config):
+        """A stream that goes untimed partway through fails loudly,
+        naming the offending record."""
+
+        def source():
+            yield TimedAccess([(0, 8)], False, 0.0)
+            yield TimedAccess([(64, 8)], False, 5.0)
+            yield DiskAccess([(128, 8)])
+
+        driver = OpenLoopDriver(
+            System(small_config), source(), coalesce_prob=0.0
+        )
+        with pytest.raises(WorkloadError, match="record 2 has no timestamp"):
+            driver.run()
+
+    def test_loadgen_stream_replays_open_loop(self, small_config):
+        """A loadgen population streams straight into the driver."""
+        from repro.loadgen import build_layout, generate_records
+
+        spec = preset_population(
+            "uniform", n_clients=100, n_requests=80, n_files=60,
+            total_blocks=small_config.array_blocks,
+        )
+        layout = build_layout(spec, 3)
+        driver = OpenLoopDriver(
+            System(small_config),
+            generate_records(spec, 3, layout=layout),
+            coalesce_prob=0.0,
+            accel=50.0,
+        )
+        driver.run()
+        assert driver.records_completed == 80
+
+
+class TestTechniqueRunnerFactory:
+    @pytest.fixture
+    def population(self, small_config):
+        spec = preset_population(
+            "web3", n_clients=150, n_requests=120, n_files=80,
+            mean_file_kb=32.0, total_blocks=small_config.array_blocks,
+        )
+        return population_trace(spec, 5)
+
+    def test_rejects_neither_source(self, population):
+        layout, _trace = population
+        with pytest.raises(WorkloadError, match="trace or a trace_factory"):
+            TechniqueRunner(layout, None)
+
+    @pytest.mark.parametrize("key", ["segm", "for+hdc"])
+    def test_factory_matches_trace(self, small_config, population, key):
+        """Factory-fed replays are byte-identical to materialized ones,
+        open-loop, for both a plain and an HDC technique."""
+        layout, trace = population
+        technique = ALL_TECHNIQUES[key]
+        hdc = 64 * KB if technique.hdc else 0
+
+        eager = TechniqueRunner(layout, trace).run(
+            small_config, technique, hdc_bytes=hdc, open_loop=True, accel=50.0
+        )
+        lazy = TechniqueRunner(
+            layout, None, profile_trace=trace,
+            trace_factory=lambda: iter(trace.records),
+        ).run(
+            small_config, technique, hdc_bytes=hdc, open_loop=True,
+            accel=50.0, coalesce_prob=trace.meta.coalesce_prob,
+        )
+        assert lazy.io_time_ms == eager.io_time_ms
+        assert lazy.record_latencies_ms == eager.record_latencies_ms
+        assert lazy.commands == eager.commands
+        assert lazy.cache_hit_rate == eager.cache_hit_rate
+
+    def test_profile_from_factory_stream(self, small_config, population):
+        """With no profile trace, HDC planning pulls its own stream."""
+        layout, trace = population
+        runner = TechniqueRunner(
+            layout, None, trace_factory=lambda: iter(trace.records)
+        )
+        profile = runner.profile()
+        assert profile.counts  # counted something
+        eager_profile = TechniqueRunner(layout, trace).profile()
+        assert profile.counts == eager_profile.counts
+
+
+class TestTraceReplayLazy:
+    def test_lazy_matches_eager_synthetic(self):
+        eager = trace_replay.run(scale=0.02, techniques=("segm",))
+        lazy = trace_replay.run(scale=0.02, techniques=("segm",), lazy=True)
+        assert lazy.to_text() == eager.to_text()
+
+    def test_lazy_matches_eager_ingested(self, tmp_path):
+        """The trace_path branch re-parses the file per technique."""
+        from repro.workloads.trace import save_trace
+
+        path = tmp_path / "t.jsonl"
+        save_trace(
+            path,
+            TraceMeta(n_streams=4, coalesce_prob=0.0),
+            timed_records(40, gap_ms=1.0),
+        )
+        eager = trace_replay.run(
+            trace_path=str(path), techniques=("segm", "for"), accel=10.0
+        )
+        lazy = trace_replay.run(
+            trace_path=str(path), techniques=("segm", "for"), accel=10.0,
+            lazy=True,
+        )
+        assert lazy.to_text() == eager.to_text()

@@ -21,6 +21,12 @@ Enforced rules (AST-level, no imports executed):
    ``repro.controller``. Trace ingestion may build on workloads and fs
    (records, layouts, bitmaps) but must never reach into the simulated
    hardware; replay wiring lives in ``host``/``experiments``.
+7. **Loadgen is a pure producer** — ``repro.loadgen`` may import only
+   workload-side packages (``workloads``, ``ingest``, ``fs``) plus the
+   shared leaves (``errors``, ``units``, ``sim.rng``). It emits
+   records; it never reaches into the consumers (``controller``,
+   ``host``, ``cache``, ``disk``, the sim engine, ...) — replay wiring
+   lives in ``host``/``experiments``.
 
 Run from the repository root: ``python tools/check_layering.py``.
 Exits non-zero listing every violation.
@@ -143,6 +149,32 @@ def check_ingest_independence(errors: List[str]) -> None:
                 )
 
 
+#: The only repro packages/modules ``repro.loadgen`` may import from.
+LOADGEN_ALLOWED = (
+    "repro.loadgen",
+    "repro.workloads",
+    "repro.ingest",
+    "repro.fs",
+    "repro.errors",
+    "repro.units",
+    "repro.sim.rng",
+)
+
+
+def check_loadgen_independence(errors: List[str]) -> None:
+    for path in sorted((SRC / "repro" / "loadgen").glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if not module.startswith("repro"):
+                continue
+            if not module.startswith(LOADGEN_ALLOWED):
+                errors.append(
+                    f"{path}: loadgen is a pure record producer and may "
+                    f"only import {', '.join(LOADGEN_ALLOWED)} "
+                    f"(imports {module})"
+                )
+
+
 def main() -> int:
     errors: List[str] = []
     check_stage_order(errors)
@@ -151,6 +183,7 @@ def main() -> int:
     check_cache_policy_isolation(errors)
     check_readahead_independence(errors)
     check_ingest_independence(errors)
+    check_loadgen_independence(errors)
     if errors:
         print(f"layering check: {len(errors)} violation(s)", file=sys.stderr)
         for err in errors:
