@@ -107,6 +107,7 @@ from repro.obs import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.service.qos import QoSPolicy
 from repro.sim.engine import Simulator
 from repro.workloads.fileserver import FileServerSpec, FileServerWorkload
 from repro.workloads.proxy import ProxyServerSpec, ProxyServerWorkload
@@ -122,6 +123,20 @@ from repro.workloads.trace import (
 from repro.workloads.webserver import WebServerSpec, WebServerWorkload
 
 __version__ = "1.0.0"
+
+# The service server/client are re-exported lazily (PEP 562):
+# ``python -m repro.service.server`` imports this package on its way to
+# the target module, and an eager import here would load that module
+# before runpy executes it, tripping the double-import warning.
+_SERVICE_EXPORTS = {"BlockService", "ServiceConfig", "ServiceClient"}
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        import repro.service
+
+        return getattr(repro.service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     # configuration
@@ -217,6 +232,11 @@ __all__ = [
     "ProxyServerWorkload",
     "FileServerSpec",
     "FileServerWorkload",
+    # block service
+    "BlockService",
+    "ServiceConfig",
+    "ServiceClient",
+    "QoSPolicy",
     # load generation
     "ClientClass",
     "PopulationSpec",

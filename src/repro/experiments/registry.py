@@ -31,6 +31,7 @@ from repro.experiments import (
     fig11,
     fig12,
     scale_sweep,
+    service_demo,
     table1,
     table2,
     trace_replay,
@@ -58,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "availability": availability.main,
     "trace_replay": trace_replay.main,
     "scale_sweep": scale_sweep.main,
+    "service_demo": service_demo.main,
 }
 
 #: run(scale=..., seed=...) entry points (programmatic access).
@@ -81,6 +83,7 @@ RUNNERS: Dict[str, Callable] = {
     "availability": availability.run,
     "trace_replay": trace_replay.run,
     "scale_sweep": scale_sweep.run,
+    "service_demo": service_demo.run,
 }
 
 
@@ -120,4 +123,8 @@ SWEEPS: Dict[str, SweepSpec] = {
     "availability": SweepSpec("mtbf_s", tuple(availability.MTBF_S)),
     "trace_replay": SweepSpec("techniques", tuple(trace_replay.TECHNIQUE_KEYS)),
     "scale_sweep": SweepSpec("clients", tuple(scale_sweep.CLIENT_COUNTS)),
+    # Live-service demo: tenant bursts share one server and one engine
+    # thread; timing-dependent by design, so it never splits (and is
+    # never golden-diffed).
+    "service_demo": SweepSpec(None),
 }

@@ -44,6 +44,12 @@ class OpenLoopDriver(ReplayDriver):
         array=None,
         striping=None,
     ):
+        # Validate before the base constructor touches the source: it
+        # consumes the first record for the lookahead, and partially
+        # draining a lazy iterator the caller may retry with (after
+        # fixing a bad accel) would silently drop that record.
+        if accel <= 0:
+            raise WorkloadError(f"accel must be positive, got {accel}")
         super().__init__(
             system,
             trace,
@@ -54,8 +60,6 @@ class OpenLoopDriver(ReplayDriver):
             array=array,
             striping=striping,
         )
-        if accel <= 0:
-            raise WorkloadError(f"accel must be positive, got {accel}")
         self.accel = accel
         self.records_admitted = 0
         t0 = self._timestamp_of(self._pending)
@@ -88,6 +92,7 @@ class OpenLoopDriver(ReplayDriver):
 
     def run(self) -> float:
         """Replay the whole trace; returns the total I/O time in ms."""
+        self._ensure_fresh_run()
         sim = self.system.sim
         start = sim.now
         self._start_time = start

@@ -118,6 +118,7 @@ class ReplayDriver:
 
     def run(self) -> float:
         """Replay the whole trace; returns the total I/O time in ms."""
+        self._ensure_fresh_run()
         sim = self.system.sim
         start = sim.now
         stream_id = 0
@@ -140,6 +141,22 @@ class ReplayDriver:
 
     def _empty_message(self) -> str:
         return "cannot replay an empty trace"
+
+    def _ensure_fresh_run(self) -> None:
+        """Refuse a second :meth:`run` after the source is exhausted.
+
+        Drivers are single-use. A re-run has no stream to start
+        (``_pending`` is gone), so nothing would ever call
+        ``sim.stop()`` — but periodic background events (e.g. HDC's
+        30-second flush timer) keep rescheduling themselves, and the
+        engine would spin on them forever instead of returning. Fail
+        fast with a clear error instead of hanging.
+        """
+        if self.records_taken and self._pending is None:
+            raise WorkloadError(
+                f"replay driver already ran ({self.records_completed} records "
+                "completed) — construct a fresh driver per replay"
+            )
 
     def _stall_error(self) -> WorkloadError:
         total = self._total if self._total is not None else self.records_taken

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` starts the server (see server.py)."""
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

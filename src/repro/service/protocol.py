@@ -1,0 +1,208 @@
+"""The block service's wire protocol: length-prefixed JSON frames.
+
+Every message — request or response — is one *frame*: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+The framing is deliberately minimal (the client/server split is the
+interesting boundary, not the serialization), but strict: frames above
+:data:`MAX_FRAME_BYTES` are refused before allocation, and malformed
+JSON or unknown fields fail with :class:`ProtocolError` instead of
+being guessed at.
+
+Requests
+--------
+
+======  =====================================================
+op      fields
+======  =====================================================
+READ    ``tenant``, ``id``, ``start`` (logical block), ``blocks``
+WRITE   same as READ
+PIN     same shape: pins ``[start, start+blocks)`` into the HDC
+        region of the blocks' home controllers
+STATS   ``tenant``, ``id`` — server/tenant counters + capacity
+======  =====================================================
+
+Responses echo ``id`` and carry ``status``:
+
+* ``"OK"`` — completed; ``latency_ms``/``queue_ms`` are *simulated*
+  milliseconds (admission→completion and admission→dispatch);
+* ``"BUSY"`` — shed by admission control (tenant over its in-flight
+  bound with a full queue, or out of tokens); nothing was issued;
+* ``"ERROR"`` — malformed or unserviceable request; ``error`` says why.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Upper bound on one frame's JSON payload (requests are tiny; STATS
+#: responses grow with tenant count but stay far below this).
+MAX_FRAME_BYTES = 1 << 20
+
+#: Frame header: 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct("!I")
+
+#: The operations the service understands.
+OPS = ("READ", "WRITE", "PIN", "STATS")
+
+#: Response statuses.
+STATUS_OK = "OK"
+STATUS_BUSY = "BUSY"
+STATUS_ERROR = "ERROR"
+
+
+class ProtocolError(ReproError):
+    """Malformed frame or request — the connection should be dropped."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one message as a length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> Tuple[Optional[Dict[str, Any]], bytes]:
+    """Split one frame off ``data``; returns ``(payload, rest)``.
+
+    ``(None, data)`` when ``data`` does not yet hold a complete frame —
+    the incremental-parse entry tests use, mirroring what
+    :func:`read_frame` does against a stream.
+    """
+    if len(data) < HEADER.size:
+        return None, data
+    (length,) = HEADER.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    end = HEADER.size + length
+    if len(data) < end:
+        return None, data
+    return _parse_body(data[HEADER.size:end]), data[end:]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame from a stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-frame") from exc
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _parse_body(body)
+
+
+def _parse_body(body: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated client request."""
+
+    op: str
+    tenant: str
+    req_id: int
+    start: int = 0
+    blocks: int = 0
+
+    @property
+    def is_io(self) -> bool:
+        """True for the ops that occupy an in-flight slot (READ/WRITE)."""
+        return self.op in ("READ", "WRITE")
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Request":
+        """Validate a decoded frame into a :class:`Request`."""
+        op = payload.get("op")
+        if op not in OPS:
+            raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
+        req_id = payload.get("id", 0)
+        if not isinstance(req_id, int):
+            raise ProtocolError(f"id must be an integer, got {req_id!r}")
+        start, blocks = 0, 0
+        if op != "STATS":
+            start = payload.get("start", 0)
+            blocks = payload.get("blocks", 0)
+            if not isinstance(start, int) or start < 0:
+                raise ProtocolError(f"start must be a non-negative integer, got {start!r}")
+            if not isinstance(blocks, int) or blocks < 1:
+                raise ProtocolError(f"blocks must be a positive integer, got {blocks!r}")
+        return cls(op=op, tenant=tenant, req_id=req_id, start=start, blocks=blocks)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The frame body this request serializes to."""
+        payload: Dict[str, Any] = {
+            "op": self.op,
+            "tenant": self.tenant,
+            "id": self.req_id,
+        }
+        if self.op != "STATS":
+            payload["start"] = self.start
+            payload["blocks"] = self.blocks
+        return payload
+
+
+@dataclass(frozen=True)
+class Response:
+    """One server reply, matched to its request by ``req_id``."""
+
+    req_id: int
+    status: str
+    latency_ms: float = 0.0
+    queue_ms: float = 0.0
+    error: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Response":
+        status = payload.get("status")
+        if status not in (STATUS_OK, STATUS_BUSY, STATUS_ERROR):
+            raise ProtocolError(f"unknown status {status!r}")
+        req_id = payload.get("id", 0)
+        if not isinstance(req_id, int):
+            raise ProtocolError(f"id must be an integer, got {req_id!r}")
+        return cls(
+            req_id=req_id,
+            status=status,
+            latency_ms=float(payload.get("latency_ms", 0.0)),
+            queue_ms=float(payload.get("queue_ms", 0.0)),
+            error=str(payload.get("error", "")),
+            data=payload.get("data", {}) or {},
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"id": self.req_id, "status": self.status}
+        if self.status == STATUS_OK:
+            payload["latency_ms"] = self.latency_ms
+            payload["queue_ms"] = self.queue_ms
+        if self.error:
+            payload["error"] = self.error
+        if self.data:
+            payload["data"] = self.data
+        return payload

@@ -1,0 +1,196 @@
+"""Per-tenant admission control: token buckets + bounded queues.
+
+Each tenant gets three knobs (:class:`QoSPolicy`):
+
+* ``rate_iops`` — a token bucket refilled in *simulated* time caps the
+  tenant's sustained request rate (0 = unmetered);
+* ``max_inflight`` — how many of the tenant's requests may be inside
+  the array at once;
+* ``max_queue`` — how many more may wait at the service layer when the
+  in-flight bound (or the bucket) says "not yet".
+
+A request that fits neither in flight nor in queue is **shed** with a
+BUSY reply — the service never buffers unboundedly, so an aggressive
+tenant saturates its own queue instead of everyone's memory, the
+classic admission-control story the paper's data-intensive servers
+need once the array is shared.
+
+Everything here is clock-agnostic: methods take ``now_ms`` (simulated
+milliseconds) and return decisions; the server owns the engine and its
+timers. That keeps the policy unit-testable without an event loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Admission decisions.
+DISPATCH = "dispatch"  # issue to the array now
+QUEUED = "queued"      # parked in the tenant's FIFO
+SHED = "shed"          # refused: reply BUSY
+
+
+class TokenBucket:
+    """Sustained-rate meter refilled continuously in simulated time.
+
+    ``rate_per_s`` tokens accrue per simulated second up to ``burst``;
+    each dispatched request spends one. ``rate_per_s = 0`` disables
+    metering (always has a token) — the demo's default, where shedding
+    is driven purely by the in-flight/queue bounds.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float, now_ms: float = 0.0):
+        if rate_per_s < 0:
+            raise ConfigError(f"token rate must be >= 0, got {rate_per_s}")
+        if rate_per_s > 0 and burst < 1:
+            raise ConfigError(f"burst must be >= 1 when metered, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.tokens = burst
+        self._last_ms = now_ms
+
+    @property
+    def unmetered(self) -> bool:
+        return self.rate_per_s == 0
+
+    def _refill(self, now_ms: float) -> None:
+        if now_ms > self._last_ms:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now_ms - self._last_ms) / 1000.0 * self.rate_per_s,
+            )
+            self._last_ms = now_ms
+
+    def try_take(self, now_ms: float) -> bool:
+        """Spend one token if available; refills first."""
+        if self.unmetered:
+            return True
+        self._refill(now_ms)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def ms_until_token(self, now_ms: float) -> float:
+        """Simulated ms until the next token matures (0 if one is ready)."""
+        if self.unmetered:
+            return 0.0
+        self._refill(now_ms)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate_per_s * 1000.0
+
+
+@dataclass(frozen=True)
+class QoSPolicy:
+    """One tenant's admission envelope."""
+
+    max_inflight: int = 8
+    max_queue: int = 32
+    rate_iops: float = 0.0  # 0 = unmetered
+    burst: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {self.max_queue}")
+
+
+class TenantQueue:
+    """One tenant's FIFO + token bucket + in-flight accounting.
+
+    The server calls :meth:`admit` on arrival, :meth:`on_complete` when
+    an issued request finishes, and :meth:`drain` from a token-timer
+    wakeup; all three return the requests to issue *now*, admission
+    order preserved.
+    """
+
+    def __init__(self, name: str, policy: QoSPolicy, now_ms: float = 0.0):
+        self.name = name
+        self.policy = policy
+        self.bucket = TokenBucket(policy.rate_iops, policy.burst, now_ms)
+        self.queue: Deque[Any] = deque()
+        self.inflight = 0
+        # Lifetime counters, surfaced through STATS.
+        self.admitted = 0
+        self.completed = 0
+        self.queued_total = 0
+        self.shed = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting in the FIFO."""
+        return len(self.queue)
+
+    def _can_dispatch(self, now_ms: float) -> bool:
+        return self.inflight < self.policy.max_inflight and self.bucket.try_take(
+            now_ms
+        )
+
+    def admit(self, item: Any, now_ms: float) -> str:
+        """Decide one arriving request: DISPATCH, QUEUED or SHED.
+
+        A DISPATCH immediately counts against ``inflight`` — the caller
+        must issue the request and later call :meth:`on_complete`.
+        Arrivals behind a non-empty queue always queue (FIFO order),
+        even when a slot is free.
+        """
+        if not self.queue and self._can_dispatch(now_ms):
+            self.inflight += 1
+            self.admitted += 1
+            return DISPATCH
+        if len(self.queue) < self.policy.max_queue:
+            self.queue.append(item)
+            self.queued_total += 1
+            return QUEUED
+        self.shed += 1
+        return SHED
+
+    def drain(self, now_ms: float) -> List[Any]:
+        """Pop every queued request the policy allows to issue now.
+
+        Each returned item counts against ``inflight``; the caller
+        issues them in order.
+        """
+        ready: List[Any] = []
+        while self.queue and self._can_dispatch(now_ms):
+            self.inflight += 1
+            self.admitted += 1
+            ready.append(self.queue.popleft())
+        return ready
+
+    def on_complete(self, now_ms: float) -> List[Any]:
+        """Record one completion, then drain newly-unblocked work."""
+        self.inflight -= 1
+        self.completed += 1
+        return self.drain(now_ms)
+
+    def next_wakeup_ms(self, now_ms: float) -> Optional[float]:
+        """Delay until a *token* (not a slot) unblocks the queue head.
+
+        ``None`` when no timer is needed: queue empty, head blocked on
+        the in-flight bound (a completion will drain it), or a token is
+        already available (the caller should just :meth:`drain`).
+        """
+        if not self.queue or self.inflight >= self.policy.max_inflight:
+            return None
+        delay = self.bucket.ms_until_token(now_ms)
+        return delay if delay > 0 else None
+
+    def snapshot(self) -> Tuple[int, int, int, int, int, int]:
+        """(admitted, completed, queued_total, shed, inflight, depth)."""
+        return (
+            self.admitted,
+            self.completed,
+            self.queued_total,
+            self.shed,
+            self.inflight,
+            self.depth,
+        )

@@ -18,11 +18,24 @@ leave the loop mid-queue (replay completion) call
 :meth:`Simulator.stop` from inside a callback instead of single-stepping
 the engine from outside, which used to cost a Python ``step()`` frame
 per event.
+
+Besides the as-fast-as-possible :meth:`Simulator.run`, the engine has a
+*real-time pacing mode*: :meth:`Simulator.run_realtime` slaves the
+simulated clock to the wall clock (``accel`` simulated ms per wall ms),
+sleeping until each event's wall deadline and admitting externally
+injected work — :meth:`Simulator.post` is safe to call from any thread
+— between sleeps. This is what lets live clients (the
+:mod:`repro.service` block service) drive the simulator interactively
+instead of from canned traces.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from heapq import heappop
+from math import inf
+from time import monotonic
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -38,6 +51,11 @@ class Simulator:
         self._running = False
         self._stop = False
         self.events_fired: int = 0
+        #: Externally injected (thread-safe) callbacks awaiting admission
+        #: by :meth:`run_realtime`; ``deque`` append/popleft are atomic.
+        self._inbox: deque = deque()
+        #: Wakes a sleeping :meth:`run_realtime` on :meth:`post`/:meth:`stop`.
+        self._wake = threading.Event()
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now.
@@ -93,8 +111,31 @@ class Simulator:
         Pending events stay queued; a later :meth:`run` resumes them.
         The way replay drivers leave the loop the moment their last
         record completes, without single-stepping the engine.
+
+        A stop requested while *no* run is active is sticky: the next
+        :meth:`run`/:meth:`run_realtime` consumes it and returns before
+        firing anything. That makes ``stop()`` safe to call from signal
+        handlers and foreign threads (it also wakes a sleeping
+        :meth:`run_realtime`) without racing the loop's startup — the
+        server-shutdown path, where the request used to be silently
+        dropped if it arrived between runs.
         """
         self._stop = True
+        self._wake.set()
+
+    def post(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Thread-safe: inject ``fn(*args)`` into a :meth:`run_realtime` loop.
+
+        May be called from any thread. The callback is admitted at the
+        loop's *current* simulated time (between event firings, never
+        mid-callback), so injected work obeys the same ordering rules as
+        zero-delay events. Entries posted while no realtime loop is
+        running are admitted when one next starts; the plain :meth:`run`
+        never services the inbox — it replays a closed workload whose
+        determinism external injection would break.
+        """
+        self._inbox.append((fn, args))
+        self._wake.set()
 
     def run(self, until: Optional[float] = None) -> float:
         """Fire events in time order.
@@ -107,7 +148,6 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        self._stop = False
         queue = self._queue
         heap = queue._heap
         fired = 0
@@ -149,6 +189,87 @@ class Simulator:
                     entry[3](*entry[4])
         finally:
             self._running = False
+            # Consume the stop here (not on entry) so one requested
+            # between runs stays pending until a run honours it.
+            self._stop = False
+            self.events_fired += fired
+        return self.now
+
+    def run_realtime(self, accel: float = 1.0, max_wait_s: float = 0.05) -> float:
+        """Fire events in time order, paced against the wall clock.
+
+        The simulated clock is slaved to the wall clock: an event at
+        simulated time ``T`` fires no earlier than
+        ``wall_start + (T - sim_start) / accel`` (``accel`` simulated ms
+        per wall ms — the same knob as replay's ``--accel``;
+        ``accel=inf`` never sleeps and degenerates to :meth:`run` plus
+        inbox service). Between firings the loop admits externally
+        :meth:`post`-ed callbacks at the current simulated time,
+        advancing the clock toward the wall-mapped instant first (but
+        never past the next scheduled event), so interactively injected
+        requests carry arrival timestamps that track real time. With an
+        empty queue the loop idles on the inbox until :meth:`stop`.
+
+        ``max_wait_s`` bounds each internal sleep — a liveness backstop
+        only; :meth:`post` and :meth:`stop` interrupt sleeps directly.
+        Returns the final clock value, like :meth:`run`.
+        """
+        if not accel > 0:
+            raise SimulationError(f"accel must be positive, got {accel}")
+        if self._running:
+            raise SimulationError("Simulator.run_realtime() is not reentrant")
+        self._running = True
+        queue = self._queue
+        heap = queue._heap
+        inbox = self._inbox
+        wake = self._wake
+        #: Wall seconds per simulated millisecond (0.0: as fast as possible).
+        scale = 0.0 if accel == inf else 1.0 / (1000.0 * accel)
+        fired = 0
+        try:
+            wall0 = monotonic()
+            sim0 = self.now
+            while not self._stop:
+                if inbox:
+                    if scale:
+                        # Admission time: the wall-mapped simulated
+                        # instant, clamped so the clock never jumps past
+                        # work already scheduled.
+                        target = sim0 + (monotonic() - wall0) / scale
+                        nxt = queue.peek_time()
+                        if nxt is not None and nxt < target:
+                            target = nxt
+                        if target > self.now:
+                            self.now = target
+                    while inbox:
+                        fn, args = inbox.popleft()
+                        queue.push_fast(self.now, fn, args)
+                nxt = queue.peek_time()
+                if nxt is None:
+                    wake.clear()
+                    if inbox or self._stop:
+                        continue  # posted/stopped between check and clear
+                    wake.wait(max_wait_s)
+                    continue
+                if scale:
+                    delay = wall0 + (nxt - sim0) * scale - monotonic()
+                    if delay > 0:
+                        wake.clear()
+                        if inbox or self._stop:
+                            continue
+                        wake.wait(min(delay, max_wait_s))
+                        continue
+                entry = heappop(heap)
+                if entry[2]:  # lazily deleted (cancelled)
+                    continue
+                entry[2] = STATE_FIRED
+                queue._live -= 1
+                self.now = entry[0]
+                fired += 1
+                entry[3](*entry[4])
+        finally:
+            self._running = False
+            self._stop = False
             self.events_fired += fired
         return self.now
 

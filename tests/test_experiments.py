@@ -157,6 +157,7 @@ class TestRegistryAndCli:
         expected |= {"availability"}  # fault-injection extension
         expected |= {"trace_replay"}  # real-trace ingestion extension
         expected |= {"scale_sweep"}  # client-population scale extension
+        expected |= {"service_demo"}  # live block-service extension
         assert set(EXPERIMENTS) == expected
         assert set(RUNNERS) == expected
 

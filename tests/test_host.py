@@ -89,6 +89,18 @@ class TestReplayDriver:
         assert elapsed > 0
         assert driver.finish_time == system.sim.now
 
+    def test_second_run_raises_instead_of_hanging(self, small_config):
+        """Regression: a completed driver's second ``run()`` starts no
+        stream (the source is exhausted), so nothing ever calls
+        ``sim.stop()`` — with periodic background events (HDC's 30-s
+        flush timer) the engine then spun forever. Fail fast instead."""
+        system = System(small_config)
+        trace = make_trace([DiskAccess([(i * 8, 2)]) for i in range(4)])
+        driver = ReplayDriver(system, trace)
+        driver.run()
+        with pytest.raises(WorkloadError, match="already ran"):
+            driver.run()
+
     def test_more_streams_than_records_is_fine(self, small_config):
         system = System(small_config)
         trace = make_trace([DiskAccess([(0, 1)])], n_streams=64)

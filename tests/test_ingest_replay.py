@@ -63,6 +63,36 @@ class TestOpenLoopDriver:
         ).run()
         assert fast < slow / 2
 
+    def test_second_run_raises_instead_of_hanging(self, small_config):
+        """Regression: rerunning a finished driver admitted nothing but
+        let background timers keep the engine alive forever."""
+        system = System(small_config)
+        driver = OpenLoopDriver(system, timed_trace(10))
+        driver.run()
+        with pytest.raises(WorkloadError, match="already ran"):
+            driver.run()
+
+    def test_bad_accel_leaves_lazy_source_untouched(self, small_config):
+        """Regression: accel was validated only after the base
+        constructor had consumed the source's first record, so a lazy
+        iterator the caller retried with (after fixing the accel) had
+        silently lost its head."""
+        taken = []
+
+        def source():
+            for record in timed_trace(5).records:
+                taken.append(record)
+                yield record
+
+        generator = source()
+        system = System(small_config)
+        with pytest.raises(WorkloadError, match="accel"):
+            OpenLoopDriver(system, generator, accel=0.0, coalesce_prob=0.0)
+        assert taken == []  # nothing consumed: the retry sees it all
+        driver = OpenLoopDriver(system, generator, coalesce_prob=0.0)
+        driver.run()
+        assert driver.records_completed == 5
+
     def test_deterministic_across_runs(self, small_config):
         results = []
         for _ in range(2):

@@ -1,5 +1,8 @@
 """Record-level latency collection and percentiles."""
 
+import random
+from bisect import bisect_left
+
 import pytest
 
 from repro import SEGM, FOR, SyntheticSpec, SyntheticWorkload, TechniqueRunner
@@ -113,6 +116,75 @@ class TestHistogramFallback:
     def test_mean_falls_back_to_histogram(self, results):
         full, compact = results
         assert compact.mean_latency_ms == pytest.approx(full.mean_latency_ms)
+
+    def test_differential_vs_exact_nearest_rank(self):
+        """Randomized differential check of ``Histogram.percentile``
+        against the exact nearest-rank statistic over the raw samples:
+        the estimate must land inside the bucket containing the exact
+        value, clamped to ``[min, max]`` of the observed data."""
+        bounds = default_latency_buckets_ms()
+        percentiles = (1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0)
+        for seed in range(20):
+            rng = random.Random(seed)
+            n = rng.randrange(1, 400)
+            # Log-uniform over the bucket ladder's full dynamic range,
+            # occasionally past the last bound (overflow bucket).
+            samples = [10.0 ** rng.uniform(-3, 5.5) for _ in range(n)]
+            hist = Histogram(bounds)
+            hist.observe_many(samples)
+            ordered = sorted(samples)
+            for p in percentiles:
+                rank = max(1, int(round(p / 100.0 * n)))
+                exact = ordered[rank - 1]
+                estimate = hist.percentile(p)
+                # Clamped to the observed range...
+                assert hist.min <= estimate <= hist.max, (seed, p)
+                # ...and inside the bucket that contains the exact
+                # nearest-rank value (bucket-granular accuracy).
+                i = bisect_left(bounds, exact)
+                lo = 0.0 if i == 0 else bounds[i - 1]
+                hi = hist.max if i >= len(bounds) else bounds[i]
+                assert lo <= estimate <= max(hi, hist.max), (seed, p, exact)
+
+    def test_differential_single_bucket(self):
+        """All mass in one bucket: the estimate interpolates inside it
+        and never leaves the observed [min, max] envelope."""
+        for seed in range(5):
+            rng = random.Random(100 + seed)
+            samples = [rng.uniform(10.0, 24.9) for _ in range(50)]
+            hist = Histogram((25.0,))  # one finite bucket holds everything
+            hist.observe_many(samples)
+            ordered = sorted(samples)
+            for p in (1.0, 50.0, 99.0):
+                rank = max(1, int(round(p / 100.0 * len(samples))))
+                exact = ordered[rank - 1]
+                estimate = hist.percentile(p)
+                assert hist.min <= estimate <= hist.max
+                # Same (single) bucket as the exact statistic, trivially.
+                assert 0.0 <= estimate <= 25.0
+                assert abs(estimate - exact) <= hist.max - hist.min
+
+    def test_differential_overflow_bucket_reports_max(self):
+        """Ranks landing in the implicit overflow bucket report the
+        exact observed max — there is no upper bound to interpolate to."""
+        rng = random.Random(7)
+        inside = [rng.uniform(0.1, 9.9) for _ in range(10)]
+        beyond = [rng.uniform(100.0, 5000.0) for _ in range(40)]
+        hist = Histogram((10.0,))
+        hist.observe_many(inside + beyond)
+        assert hist.percentile(99.0) == max(beyond)
+        assert hist.percentile(100.0) == max(beyond)
+        # A rank inside the finite bucket still interpolates below it.
+        assert hist.percentile(10.0) <= 10.0
+
+    def test_defensive_tail_returns_max(self):
+        """The post-loop return (metrics.py defensive tail) is
+        unreachable through consistent state; force an inconsistent
+        count to pin its behaviour: it reports ``max``, never raises."""
+        hist = Histogram((10.0, 20.0))
+        hist.observe_many([5.0, 15.0])
+        hist.count = 10  # rank now exceeds the bucket counts' total
+        assert hist.percentile(100.0) == hist.max
 
     def test_synthetic_histogram_fallback(self):
         hist = Histogram(default_latency_buckets_ms())

@@ -81,6 +81,25 @@ def test_checker_flags_loadgen_consumer_import(tmp_path, monkeypatch):
     assert len(errors) == 1 and "repro.host.streams" in errors[0]
 
 
+def test_checker_flags_service_device_import(tmp_path, monkeypatch):
+    """The service facade reaching under the host layer (a planted
+    controller-internals import) trips rule 8; host-layer imports
+    stay allowed."""
+    checker = load_checker()
+    src = tmp_path / "src"
+    service = src / "repro" / "service"
+    service.mkdir(parents=True)
+    (service / "sneaky.py").write_text(
+        "from repro.controller.controller import DiskController\n"
+        "from repro.host.system import System\n"  # allowed
+        "from repro.array.raid import MirroredArray\n"  # allowed
+    )
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_service_independence(errors)
+    assert len(errors) == 1 and "repro.controller.controller" in errors[0]
+
+
 def test_checker_flags_private_cross_import(tmp_path, monkeypatch):
     checker = load_checker()
     src = tmp_path / "src"

@@ -1,0 +1,163 @@
+"""Wire protocol: framing, parsing, request/response validation."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    STATUS_BUSY,
+    STATUS_OK,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"op": "READ", "tenant": "a", "id": 7, "start": 0, "blocks": 8}
+        decoded, rest = decode_frame(encode_frame(payload))
+        assert decoded == payload
+        assert rest == b""
+
+    def test_partial_header_incomplete(self):
+        assert decode_frame(b"\x00\x00") == (None, b"\x00\x00")
+
+    def test_partial_body_incomplete(self):
+        frame = encode_frame({"op": "STATS", "id": 1})
+        truncated = frame[:-2]
+        assert decode_frame(truncated) == (None, truncated)
+
+    def test_two_frames_split_correctly(self):
+        a = encode_frame({"id": 1})
+        b = encode_frame({"id": 2})
+        first, rest = decode_frame(a + b)
+        assert first == {"id": 1}
+        second, rest = decode_frame(rest)
+        assert second == {"id": 2}
+        assert rest == b""
+
+    def test_oversize_header_refused_before_allocation(self):
+        huge = HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(huge)
+
+    def test_oversize_encode_refused(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"x": "y" * MAX_FRAME_BYTES})
+
+    def test_non_object_json_refused(self):
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(struct.pack("!I", len(body)) + body)
+
+    def test_invalid_json_refused(self):
+        body = b"{nope"
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(struct.pack("!I", len(body)) + body)
+
+
+class TestStreamReading:
+    @staticmethod
+    def _read(data: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_reads_one_frame(self):
+        assert self._read(encode_frame({"id": 3})) == {"id": 3}
+
+    def test_clean_eof_is_none(self):
+        assert self._read(b"") is None
+
+    def test_mid_frame_eof_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            self._read(encode_frame({"id": 3})[:-1])
+
+    def test_oversize_length_raises(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            self._read(HEADER.pack(MAX_FRAME_BYTES + 1))
+
+
+class TestRequestValidation:
+    def test_round_trip(self):
+        request = Request("WRITE", "alice", 9, 128, 16)
+        assert Request.from_payload(request.to_payload()) == request
+
+    def test_stats_omits_range(self):
+        request = Request("STATS", "alice", 2)
+        payload = request.to_payload()
+        assert "start" not in payload and "blocks" not in payload
+        assert Request.from_payload(payload) == request
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            Request.from_payload({"op": "TRIM", "id": 1})
+
+    def test_tenant_defaults(self):
+        request = Request.from_payload(
+            {"op": "READ", "id": 1, "start": 0, "blocks": 1}
+        )
+        assert request.tenant == "default"
+
+    def test_empty_tenant_refused(self):
+        with pytest.raises(ProtocolError, match="tenant"):
+            Request.from_payload(
+                {"op": "READ", "tenant": "", "id": 1, "start": 0, "blocks": 1}
+            )
+
+    def test_bad_id_refused(self):
+        with pytest.raises(ProtocolError, match="id"):
+            Request.from_payload(
+                {"op": "READ", "id": "seven", "start": 0, "blocks": 1}
+            )
+
+    def test_negative_start_refused(self):
+        with pytest.raises(ProtocolError, match="start"):
+            Request.from_payload(
+                {"op": "READ", "id": 1, "start": -4, "blocks": 1}
+            )
+
+    def test_zero_blocks_refused(self):
+        with pytest.raises(ProtocolError, match="blocks"):
+            Request.from_payload(
+                {"op": "WRITE", "id": 1, "start": 0, "blocks": 0}
+            )
+
+    def test_is_io_classification(self):
+        assert Request("READ", "a", 1, 0, 1).is_io
+        assert Request("WRITE", "a", 1, 0, 1).is_io
+        assert not Request("PIN", "a", 1, 0, 1).is_io
+        assert not Request("STATS", "a", 1).is_io
+
+
+class TestResponseValidation:
+    def test_round_trip_ok(self):
+        response = Response(4, STATUS_OK, latency_ms=2.5, queue_ms=0.5)
+        back = Response.from_payload(response.to_payload())
+        assert back == response
+        assert back.ok
+
+    def test_busy_carries_no_latency(self):
+        payload = Response(4, STATUS_BUSY).to_payload()
+        assert "latency_ms" not in payload
+        assert not Response.from_payload(payload).ok
+
+    def test_unknown_status_refused(self):
+        with pytest.raises(ProtocolError, match="unknown status"):
+            Response.from_payload({"id": 1, "status": "MAYBE"})
+
+    def test_error_and_data_round_trip(self):
+        response = Response(1, STATUS_OK, data={"pinned": 8})
+        assert Response.from_payload(response.to_payload()).data == {"pinned": 8}

@@ -1,0 +1,134 @@
+"""Admission control: token buckets, FIFO queues, shedding."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.qos import (
+    DISPATCH,
+    QUEUED,
+    SHED,
+    QoSPolicy,
+    TenantQueue,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_unmetered_always_has_tokens(self):
+        bucket = TokenBucket(0.0, 0.0)
+        for _ in range(100):
+            assert bucket.try_take(0.0)
+        assert bucket.ms_until_token(0.0) == 0.0
+
+    def test_burst_then_exhaustion(self):
+        bucket = TokenBucket(100.0, 3.0)
+        assert all(bucket.try_take(0.0) for _ in range(3))
+        assert not bucket.try_take(0.0)
+
+    def test_refills_with_simulated_time(self):
+        bucket = TokenBucket(100.0, 1.0)  # one token per 10 ms
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(5.0)
+        assert bucket.try_take(10.0)
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(100.0, 2.0)
+        bucket.try_take(0.0)
+        bucket.try_take(0.0)
+        # A long idle gap matures at most ``burst`` tokens.
+        assert bucket.try_take(10_000.0)
+        assert bucket.try_take(10_000.0)
+        assert not bucket.try_take(10_000.0)
+
+    def test_ms_until_token(self):
+        bucket = TokenBucket(100.0, 1.0)
+        bucket.try_take(0.0)
+        assert bucket.ms_until_token(0.0) == pytest.approx(10.0)
+        assert bucket.ms_until_token(4.0) == pytest.approx(6.0)
+        assert bucket.ms_until_token(10.0) == 0.0
+
+    def test_negative_rate_refused(self):
+        with pytest.raises(ConfigError, match="rate"):
+            TokenBucket(-1.0, 1.0)
+
+    def test_metered_needs_burst(self):
+        with pytest.raises(ConfigError, match="burst"):
+            TokenBucket(10.0, 0.5)
+
+
+class TestQoSPolicy:
+    def test_defaults_valid(self):
+        QoSPolicy()
+
+    def test_inflight_floor(self):
+        with pytest.raises(ConfigError, match="max_inflight"):
+            QoSPolicy(max_inflight=0)
+
+    def test_negative_queue_refused(self):
+        with pytest.raises(ConfigError, match="max_queue"):
+            QoSPolicy(max_queue=-1)
+
+
+class TestTenantQueue:
+    def test_dispatch_under_limit(self):
+        tenant = TenantQueue("t", QoSPolicy(max_inflight=2, max_queue=2))
+        assert tenant.admit("a", 0.0) == DISPATCH
+        assert tenant.admit("b", 0.0) == DISPATCH
+        assert tenant.inflight == 2
+
+    def test_queue_then_shed(self):
+        tenant = TenantQueue("t", QoSPolicy(max_inflight=1, max_queue=2))
+        assert tenant.admit("a", 0.0) == DISPATCH
+        assert tenant.admit("b", 0.0) == QUEUED
+        assert tenant.admit("c", 0.0) == QUEUED
+        assert tenant.admit("d", 0.0) == SHED
+        assert tenant.snapshot() == (1, 0, 2, 1, 1, 2)
+
+    def test_zero_queue_sheds_immediately(self):
+        tenant = TenantQueue("t", QoSPolicy(max_inflight=1, max_queue=0))
+        assert tenant.admit("a", 0.0) == DISPATCH
+        assert tenant.admit("b", 0.0) == SHED
+
+    def test_completion_drains_fifo_in_order(self):
+        tenant = TenantQueue("t", QoSPolicy(max_inflight=1, max_queue=4))
+        tenant.admit("a", 0.0)
+        tenant.admit("b", 0.0)
+        tenant.admit("c", 0.0)
+        assert tenant.on_complete(1.0) == ["b"]
+        assert tenant.on_complete(2.0) == ["c"]
+        assert tenant.on_complete(3.0) == []
+        assert tenant.inflight == 0
+        assert tenant.completed == 3
+
+    def test_arrival_behind_queue_never_jumps_it(self):
+        """FIFO: even with a free slot, a new arrival queues behind
+        earlier waiters instead of overtaking them."""
+        tenant = TenantQueue("t", QoSPolicy(max_inflight=2, max_queue=4))
+        tenant.admit("a", 0.0)
+        tenant.admit("b", 0.0)
+        tenant.admit("c", 0.0)  # queued: both slots taken
+        tenant.inflight = 1  # a slot frees without a drain (token case)
+        assert tenant.admit("d", 0.0) == QUEUED
+        assert list(tenant.queue) == ["c", "d"]
+
+    def test_token_bucket_gates_dispatch(self):
+        policy = QoSPolicy(max_inflight=8, max_queue=8, rate_iops=100.0, burst=1.0)
+        tenant = TenantQueue("t", policy)
+        assert tenant.admit("a", 0.0) == DISPATCH
+        assert tenant.admit("b", 0.0) == QUEUED  # slot free, no token
+        assert tenant.drain(5.0) == []
+        assert tenant.drain(10.0) == ["b"]  # token matured
+
+    def test_next_wakeup_only_when_token_blocked(self):
+        policy = QoSPolicy(max_inflight=1, max_queue=8, rate_iops=100.0, burst=2.0)
+        tenant = TenantQueue("t", policy)
+        assert tenant.next_wakeup_ms(0.0) is None  # empty queue
+        tenant.admit("a", 0.0)
+        tenant.admit("b", 0.0)
+        # Head is blocked on the in-flight bound, not tokens: no timer —
+        # the completion will drain it.
+        assert tenant.next_wakeup_ms(0.0) is None
+        tenant.on_complete(0.0)  # dispatches "b", spends 2nd token
+        tenant.admit("c", 0.0)
+        tenant.on_complete(0.0)  # slot free; "c" blocked on tokens now
+        assert tenant.next_wakeup_ms(0.0) == pytest.approx(10.0)

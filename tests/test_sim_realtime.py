@@ -1,0 +1,200 @@
+"""Real-time pacing mode: wall-clock slaving, external-event inbox."""
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestRunRealtime:
+    def test_fires_in_time_order_and_returns_on_stop(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, sim.stop)
+        final = sim.run_realtime(accel=math.inf)
+        assert order == ["a", "b"]
+        assert final == 3.0
+        assert sim.events_fired == 3
+
+    def test_accel_inf_never_sleeps(self):
+        """A far-future event must not cost far-future wall time."""
+        sim = Simulator()
+        sim.schedule(60_000.0, sim.stop)  # one simulated minute away
+        t0 = time.monotonic()
+        sim.run_realtime(accel=math.inf)
+        assert time.monotonic() - t0 < 5.0
+        assert sim.now == 60_000.0
+
+    def test_finite_accel_paces_against_wall_clock(self):
+        """200 simulated ms at accel=10 must take >= ~20 wall ms."""
+        sim = Simulator()
+        sim.schedule(200.0, sim.stop)
+        t0 = time.monotonic()
+        sim.run_realtime(accel=10.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed >= 0.015  # generous margin below the exact 0.020
+
+    def test_nonpositive_accel_rejected(self):
+        sim = Simulator()
+        for bad in (0.0, -1.0):
+            with pytest.raises(SimulationError, match="accel"):
+                sim.run_realtime(accel=bad)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def inner():
+            with pytest.raises(SimulationError, match="not reentrant"):
+                sim.run_realtime()
+            sim.stop()
+
+        sim.schedule(0.0, inner)
+        sim.run_realtime(accel=math.inf)
+
+    def test_post_injects_from_another_thread(self):
+        """An idle loop (empty queue) admits posted work promptly."""
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            time.sleep(0.02)
+            sim.post(seen.append, "injected")
+            sim.post(sim.stop)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        sim.run_realtime(accel=math.inf)
+        thread.join()
+        assert seen == ["injected"]
+
+    def test_posted_work_can_schedule_followups(self):
+        """Injected callbacks participate in normal event scheduling."""
+        sim = Simulator()
+        hops = []
+
+        def chain(n):
+            hops.append(sim.now)
+            if n:
+                sim.call_after(1.0, chain, n - 1)
+            else:
+                sim.stop()
+
+        threading.Thread(target=lambda: sim.post(chain, 3)).start()
+        sim.run_realtime(accel=math.inf)
+        assert len(hops) == 4
+        assert hops == sorted(hops)
+        assert hops[-1] - hops[0] == 3.0
+
+    def test_idle_clock_tracks_wall_time_under_finite_accel(self):
+        """A request injected after a wall delay arrives at a simulated
+        time that reflects that delay (clock slaving while idle)."""
+        sim = Simulator()
+        arrival = []
+
+        def worker():
+            time.sleep(0.03)
+            sim.post(lambda: arrival.append(sim.now))
+            sim.post(sim.stop)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        sim.run_realtime(accel=1000.0)  # 1000 sim ms per wall ms
+        thread.join()
+        # ~30 wall ms at accel 1000 => >= ~10000 simulated ms even with
+        # scheduler jitter; exactness is not the contract, slaving is.
+        assert arrival and arrival[0] > 1000.0
+
+    def test_clock_never_advances_past_pending_events_on_injection(self):
+        """Inbox admission clamps the clock to the next scheduled event,
+        so injected work cannot make the engine schedule into the past."""
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "timer")  # far future at accel=1e-9
+
+        def worker():
+            time.sleep(0.02)
+            sim.post(lambda: seen.append(("injected", sim.now)))
+            sim.post(sim.stop)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        # Slow enough that the 5-ms timer's wall deadline (5000 s away)
+        # never arrives: only the injected events run.
+        sim.run_realtime(accel=1e-6)
+        thread.join()
+        assert seen == [("injected", sim.now)]
+        assert sim.now <= 5.0
+        assert sim.pending == 1  # the timer is still queued
+
+    def test_stop_from_another_thread_wakes_idle_loop(self):
+        sim = Simulator()
+        thread = threading.Thread(target=lambda: (time.sleep(0.02), sim.stop()))
+        thread.start()
+        t0 = time.monotonic()
+        sim.run_realtime(accel=1.0)  # empty queue: pure idle
+        thread.join()
+        assert time.monotonic() - t0 < 5.0
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "cancelled")
+        sim.schedule(2.0, fired.append, "kept")
+        sim.schedule(2.0, sim.stop)
+        sim.cancel(handle)
+        sim.run_realtime(accel=math.inf)
+        assert fired == ["kept"]
+
+
+class TestStickyStop:
+    def test_stop_before_run_is_consumed_by_next_run(self):
+        """Regression: run() used to reset the flag on entry, silently
+        dropping a stop requested between runs (the server-shutdown
+        path: a signal handler stops an engine that has not started)."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.stop()
+        sim.run()
+        assert fired == []  # the pending stop was honoured...
+        assert sim.pending == 1
+        sim.run()  # ...and consumed: the next run proceeds normally
+        assert fired == ["x"]
+
+    def test_stop_before_run_realtime_is_consumed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.stop()
+        sim.run_realtime(accel=math.inf)
+        assert fired == []
+        sim.schedule(1.5, sim.stop)
+        sim.run_realtime(accel=math.inf)
+        assert fired == ["x"]
+
+    def test_stop_before_run_until_is_consumed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.stop()
+        assert sim.run(until=5.0) == 0.0  # no progress: stop honoured
+        sim.run(until=5.0)
+        assert fired == ["x"]
+        assert sim.now == 5.0
+
+    def test_stop_inside_run_does_not_leak_into_next_run(self):
+        """The existing contract: a stop consumed mid-run is gone."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, fired.append, "after")
+        sim.run()
+        assert fired == []
+        sim.run()
+        assert fired == ["after"]

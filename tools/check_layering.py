@@ -27,6 +27,12 @@ Enforced rules (AST-level, no imports executed):
    records; it never reaches into the consumers (``controller``,
    ``host``, ``cache``, ``disk``, the sim engine, ...) — replay wiring
    lives in ``host``/``experiments``.
+8. **Service sits above the host layer** — ``repro.service`` talks to
+   the array through ``host``/``array`` (plus the engine, config, obs
+   and shared leaves) and never imports device internals
+   (``controller``, ``cache``, ``disk``, ``mechanics``, ``scheduling``,
+   ``bus``, ...): whatever the wire protocol needs must be reachable
+   through the host-layer surface, or it doesn't belong on the wire.
 
 Run from the repository root: ``python tools/check_layering.py``.
 Exits non-zero listing every violation.
@@ -175,6 +181,34 @@ def check_loadgen_independence(errors: List[str]) -> None:
                 )
 
 
+#: The only repro packages/modules ``repro.service`` may import from:
+#: the host-layer surface, not the device internals beneath it.
+SERVICE_ALLOWED = (
+    "repro.service",
+    "repro.host",
+    "repro.array",
+    "repro.obs",
+    "repro.sim",
+    "repro.config",
+    "repro.errors",
+    "repro.units",
+)
+
+
+def check_service_independence(errors: List[str]) -> None:
+    for path in sorted((SRC / "repro" / "service").glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if not module.startswith("repro"):
+                continue
+            if not module.startswith(SERVICE_ALLOWED):
+                errors.append(
+                    f"{path}: service is a host-layer facade and may "
+                    f"only import {', '.join(SERVICE_ALLOWED)} "
+                    f"(imports {module})"
+                )
+
+
 def main() -> int:
     errors: List[str] = []
     check_stage_order(errors)
@@ -184,6 +218,7 @@ def main() -> int:
     check_readahead_independence(errors)
     check_ingest_independence(errors)
     check_loadgen_independence(errors)
+    check_service_independence(errors)
     if errors:
         print(f"layering check: {len(errors)} violation(s)", file=sys.stderr)
         for err in errors:
