@@ -7,8 +7,8 @@ about — how many trace records per wall-clock second a full
 end-to-end replay services, through the host decomposition, the staged
 controller pipeline, the mechanical drive model and the shared bus.
 
-Five scenarios cover the two replay disciplines over the three trace
-sources:
+Six scenarios cover the two replay disciplines over the three trace
+sources plus the flash device model:
 
 * ``closed_synthetic``  — fig03-style synthetic workload, closed-loop
   (128 streams, as fast as completions allow): the paper's capacity
@@ -22,6 +22,10 @@ sources:
 * ``loadgen``           — a synthesized 5k-client population streamed
   from :mod:`repro.loadgen` straight into the open-loop driver
   (generation + replay fused, constant memory): the scale-sweep path.
+* ``ssd_array``         — the closed synthetic workload again, but over
+  an all-flash array (``generic_ssd`` per slot): the seekless
+  service model plus the 4-way-per-slot media concurrency, i.e. the
+  device-registry path the hybrid_array experiment leans on.
 
 Output is ``BENCH_sim.json``: per scenario the wall seconds, the
 records/second, the pre-PR baseline records/second measured with this
@@ -75,6 +79,7 @@ PRE_PR_BASELINE_RPS = {
     "closed_ingested": 9347.0,
     "open_ingested": 15321.0,
     # "loadgen" has no pre-PR baseline: the subsystem landed in PR 7.
+    # "ssd_array" has none either: flash devices landed in PR 9.
 }
 
 
@@ -146,6 +151,13 @@ def scenarios(scale: float = 1.0):
     yield (
         "loadgen",
         lambda: _run(pop_runner, config, "segm", open_loop=True, accel=50.0),
+    )
+    ssd_config = ultrastar_36z15_config(
+        seed=1, devices=("generic_ssd",) * 8
+    )
+    yield (
+        "ssd_array",
+        lambda: _run(syn_runner, ssd_config, "for"),
     )
 
 

@@ -9,7 +9,9 @@ two copies of every striping unit on distinct disks, and
 
 * **Reads** go to the replica whose disk currently has the shorter
   queue (and, on ties, the closer head) — the classic mirrored-read
-  optimisation.
+  optimisation. Heterogeneous pairs (hybrid HDD+SSD mirrors) instead
+  compare expected drain time: load weighted by each device's expected
+  per-op service time over its channel count.
 * **Writes** go to both replicas and complete when the slower one
   lands, preserving durability semantics.
 
@@ -237,14 +239,27 @@ class MirroredArray:
 
     # -- replica selection ---------------------------------------------
 
-    def _pick_read_replica(self, disk: int, start: int) -> int:
-        """Choose the primary (``disk``) or its mirror by queue length,
-        breaking ties by head distance; a failed replica is never
-        chosen while its partner is healthy."""
+    def _pick_read_replica(self, disk: int, start: int, n_blocks: int = 1) -> int:
+        """Choose the primary (``disk``) or its mirror for a read.
+
+        Same-technology pairs use the classic mirrored-read heuristic:
+        shorter queue, ties broken by head distance. A heterogeneous
+        pair (hybrid HDD+SSD mirror) instead weighs each replica's
+        load by its device's expected per-op service time and channel
+        count — queue length alone is blind to how much faster one
+        technology drains its queue. A failed replica is never chosen
+        while its partner is healthy.
+        """
         primary = self.array.controllers[disk]
         mirror = self.array.controllers[disk + self.half]
         if primary.offline != mirror.offline:
             return disk + self.half if primary.offline else disk
+        p_dev = primary.drive.device
+        m_dev = mirror.drive.device
+        if getattr(p_dev, "kind", None) is not getattr(m_dev, "kind", None):
+            p_cost = self._replica_cost(primary, p_dev, n_blocks)
+            m_cost = self._replica_cost(mirror, m_dev, n_blocks)
+            return disk if p_cost <= m_cost else disk + self.half
         p_load = primary.queue_length + (1 if primary.drive.busy else 0)
         m_load = mirror.queue_length + (1 if mirror.drive.busy else 0)
         if p_load != m_load:
@@ -253,6 +268,19 @@ class MirroredArray:
         p_dist = abs(primary.drive.head_cylinder - cylinder)
         m_dist = abs(mirror.drive.head_cylinder - cylinder)
         return disk if p_dist <= m_dist else disk + self.half
+
+    @staticmethod
+    def _replica_cost(controller, device, n_blocks: int) -> float:
+        """Expected time for a replica to serve one more read.
+
+        Every operation ahead of ours (queued plus in flight) plus our
+        own costs one expected service time, amortised over the
+        device's internal channels.
+        """
+        drive = controller.drive
+        ahead = controller.queue_length + getattr(drive, "in_flight", 0)
+        channels = max(1, getattr(drive, "n_channels", 1))
+        return (ahead + 1) * device.expected_service_time(n_blocks) / channels
 
     def _issue_read_with_fallback(
         self,
@@ -339,7 +367,7 @@ class MirroredArray:
                         lambda c=cmd: self.array.submit_command(c)
                     )
             else:
-                disk = self._pick_read_replica(run.disk, run.start)
+                disk = self._pick_read_replica(run.disk, run.start, run.n_blocks)
                 if disk == run.disk:
                     self.reads_primary += 1
                 else:
@@ -403,7 +431,7 @@ class MirroredArray:
                 self.array.submit_command(replica)
             return
 
-        disk = self._pick_read_replica(cmd.disk_id, cmd.start_block)
+        disk = self._pick_read_replica(cmd.disk_id, cmd.start_block, cmd.n_blocks)
         if disk == cmd.disk_id:
             self.reads_primary += 1
         else:

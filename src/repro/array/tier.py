@@ -1,0 +1,239 @@
+"""An SSD tier in front of spinning disks (block-level read cache).
+
+:class:`SsdTierArray` splits one physical array into a *backing* set
+(the first ``n_backing`` slots — the spinning disks holding every
+block) and a *tier* set (the remaining slots — flash devices caching
+recently read blocks). Reads whose blocks are all tier-resident are
+served by the flash slot assigned to their backing disk; misses go to
+the backing disk and populate the tier on the way back (an internal
+flash write that competes for tier channels but never blocks the host
+read). Writes go through to the backing disk and invalidate any stale
+tier copy.
+
+Device capacities are equal across slots (enforced by
+:class:`~repro.config.SimConfig`), so a backing block's tier copy can
+live at its own physical address — no remapping table to model, and
+flash cost is address-independent anyway. Residency is a plain LRU
+over ``(backing disk, block)``; ``capacity_blocks`` defaults to the
+tier devices' raw capacity and can be shrunk to force eviction in
+tests.
+
+Like :class:`~repro.array.raid.MirroredArray`, the class presents both
+the logical-run interface and the command interface, so the replay
+driver can target it directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from repro.array.array import DiskArray
+from repro.array.striping import StripingLayout
+from repro.controller.commands import DiskCommand
+from repro.errors import ConfigError, SimulationError
+
+
+class SsdTierArray:
+    """Backing spindles with a flash read-cache tier in front."""
+
+    def __init__(
+        self,
+        array: DiskArray,
+        n_backing: int,
+        capacity_blocks: Optional[int] = None,
+        populate_on_read: bool = True,
+    ):
+        n_tier = array.n_disks - n_backing
+        if n_backing < 1 or n_tier < 1:
+            raise ConfigError(
+                f"tiering needs >=1 backing and >=1 tier slot, got "
+                f"{n_backing}+{n_tier}"
+            )
+        self.array = array
+        self.n_backing = n_backing
+        self.n_tier = n_tier
+        base = array.striping
+        self.striping = StripingLayout(
+            n_backing, base.unit_blocks, base.disk_blocks
+        )
+        if capacity_blocks is None:
+            capacity_blocks = sum(
+                array.controllers[n_backing + t].drive.geometry.n_blocks
+                for t in range(n_tier)
+            )
+        if capacity_blocks < 1:
+            raise ConfigError("tier capacity must be >=1 block")
+        self.capacity_blocks = capacity_blocks
+        self.populate_on_read = populate_on_read
+        #: LRU over resident ``(backing disk, block)`` pairs.
+        self._resident: OrderedDict = OrderedDict()
+        self.tier_hits = 0
+        self.tier_misses = 0
+        self.tier_fills = 0
+        self.tier_invalidations = 0
+        self.tier_evictions = 0
+
+    # -- residency bookkeeping -----------------------------------------
+
+    def tier_for(self, disk: int) -> int:
+        """The tier slot caching backing disk ``disk``'s blocks."""
+        return self.n_backing + disk % self.n_tier
+
+    def _is_resident(self, disk: int, start: int, n_blocks: int) -> bool:
+        resident = self._resident
+        return all(
+            (disk, start + i) in resident for i in range(n_blocks)
+        )
+
+    def _touch(self, disk: int, start: int, n_blocks: int) -> None:
+        for i in range(n_blocks):
+            self._resident.move_to_end((disk, start + i))
+
+    def _insert(self, disk: int, start: int, n_blocks: int) -> None:
+        resident = self._resident
+        for i in range(n_blocks):
+            key = (disk, start + i)
+            if key in resident:
+                resident.move_to_end(key)
+            else:
+                resident[key] = None
+        while len(resident) > self.capacity_blocks:
+            resident.popitem(last=False)
+            self.tier_evictions += 1
+
+    def _invalidate(self, disk: int, start: int, n_blocks: int) -> int:
+        """Drop any resident copies of the run; returns how many."""
+        resident = self._resident
+        dropped = 0
+        for i in range(n_blocks):
+            key = (disk, start + i)
+            if key in resident:
+                del resident[key]
+                dropped += 1
+        return dropped
+
+    # -- request paths --------------------------------------------------
+
+    def _read_run(
+        self,
+        disk: int,
+        start: int,
+        n_blocks: int,
+        stream_id: int,
+        on_done: Callable[[DiskCommand], None],
+    ) -> DiskCommand:
+        """Serve one backing-disk run from the tier or the spindle."""
+        if self._is_resident(disk, start, n_blocks):
+            self.tier_hits += 1
+            self._touch(disk, start, n_blocks)
+            cmd = DiskCommand(
+                self.tier_for(disk), start, n_blocks, False, stream_id, on_done
+            )
+            self.array.submit_command(cmd)
+            return cmd
+        self.tier_misses += 1
+
+        def _backing_done(c: DiskCommand) -> None:
+            if c.error is None and self.populate_on_read:
+                self._insert(disk, start, n_blocks)
+                self.tier_fills += 1
+                # Fire-and-forget flash program; the host read is
+                # already complete and never waits for it.
+                self.array.controllers[self.tier_for(disk)].internal_write(
+                    start, n_blocks
+                )
+            on_done(c)
+
+        cmd = DiskCommand(disk, start, n_blocks, False, stream_id, _backing_done)
+        self.array.submit_command(cmd)
+        return cmd
+
+    def _write_run(
+        self,
+        disk: int,
+        start: int,
+        n_blocks: int,
+        stream_id: int,
+        on_done: Callable[[DiskCommand], None],
+    ) -> DiskCommand:
+        """Write through to the backing disk; drop stale tier copies."""
+        self.tier_invalidations += self._invalidate(disk, start, n_blocks)
+        cmd = DiskCommand(disk, start, n_blocks, True, stream_id, on_done)
+        self.array.submit_command(cmd)
+        return cmd
+
+    # -- public interface ------------------------------------------------
+
+    def submit_logical(
+        self,
+        logical_start: int,
+        n_blocks: int,
+        is_write: bool = False,
+        stream_id: int = -1,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> List[DiskCommand]:
+        """Fan a logical run out over the backing stripes."""
+        runs = self.striping.map_run(logical_start, n_blocks)
+        commands: List[DiskCommand] = []
+        remaining = len(runs)
+
+        def _sub_done(_cmd: DiskCommand) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and on_complete is not None:
+                on_complete()
+
+        for run in runs:
+            if is_write:
+                commands.append(
+                    self._write_run(
+                        run.disk, run.start, run.n_blocks, stream_id, _sub_done
+                    )
+                )
+            else:
+                commands.append(
+                    self._read_run(
+                        run.disk, run.start, run.n_blocks, stream_id, _sub_done
+                    )
+                )
+        return commands
+
+    def submit_command(self, cmd: DiskCommand) -> None:
+        """Backing-space command entry (the ReplayDriver interface)."""
+        if not 0 <= cmd.disk_id < self.n_backing:
+            raise SimulationError(
+                f"tiered command addresses backing disk {cmd.disk_id}, "
+                f"array has {self.n_backing}"
+            )
+        sim = self.array.sim
+        cmd.issued_at = sim.now
+
+        def _resolved(c: DiskCommand) -> None:
+            cmd.served_from_cache = c.served_from_cache
+            cmd.error = c.error
+            cmd.finish(sim.now)
+
+        if cmd.is_write:
+            self._write_run(
+                cmd.disk_id, cmd.start_block, cmd.n_blocks, cmd.stream_id, _resolved
+            )
+        else:
+            self._read_run(
+                cmd.disk_id, cmd.start_block, cmd.n_blocks, cmd.stream_id, _resolved
+            )
+
+    @property
+    def n_disks(self) -> int:
+        """Physical devices (backing spindles plus tier slots)."""
+        return self.array.n_disks
+
+    @property
+    def logical_capacity_blocks(self) -> int:
+        """Usable capacity: the backing set only."""
+        return self.striping.total_blocks
+
+    def hit_rate(self) -> float:
+        """Fraction of read runs served from the flash tier."""
+        total = self.tier_hits + self.tier_misses
+        return self.tier_hits / total if total else 0.0

@@ -21,11 +21,24 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.faults.profile import FaultProfile, RetryPolicy
 from repro.units import KB, MB, mb_per_s_to_bytes_per_ms, rpm_to_rotation_ms
+
+
+class DeviceKind(str, Enum):
+    """Storage-media technology of one array slot.
+
+    The kind selects which registered device model
+    (:mod:`repro.devices`) services the slot's media operations:
+    mechanical seek/rotation/transfer for :attr:`HDD`, flat-latency
+    multi-channel flash for :attr:`SSD`.
+    """
+
+    HDD = "hdd"
+    SSD = "ssd"
 
 
 class CacheOrganization(str, Enum):
@@ -153,6 +166,167 @@ class DiskParams:
 
 
 @dataclass(frozen=True)
+class SsdParams:
+    """A flash device's capacity, latency and internal parallelism.
+
+    Flash has no mechanical positioning: a media operation costs a flat
+    per-op latency (asymmetric for reads vs programs) plus streaming
+    transfer, and the device services up to ``channels`` operations
+    concurrently (per-channel dies behind an internal interconnect).
+    Capacity defaults match the 36Z15's 18 GB so heterogeneous arrays
+    stripe uniformly.
+    """
+
+    capacity_bytes: int = 18_000_000_000
+    #: Flat media latency of one read operation (flash page read +
+    #: controller FTL lookup), independent of address.
+    read_latency_ms: float = 0.10
+    #: Flat media latency of one write/program operation.
+    write_latency_ms: float = 0.30
+    #: Streaming transfer rate once the operation is underway.
+    transfer_rate_mb_s: float = 480.0
+    #: Independent internal channels servicing operations concurrently.
+    channels: int = 4
+    #: Fixed controller/command processing overhead per media operation.
+    command_overhead_ms: float = 0.02
+
+    def validate(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("ssd capacity must be positive")
+        if self.read_latency_ms < 0 or self.write_latency_ms < 0:
+            raise ConfigError("ssd latencies must be non-negative")
+        if self.transfer_rate_mb_s <= 0:
+            raise ConfigError("ssd transfer rate must be positive")
+        if self.channels < 1:
+            raise ConfigError(f"ssd needs >=1 channel, got {self.channels}")
+        if self.command_overhead_ms < 0:
+            raise ConfigError("ssd command overhead must be non-negative")
+
+    @property
+    def transfer_rate_bytes_ms(self) -> float:
+        """Media transfer rate in bytes per millisecond."""
+        return mb_per_s_to_bytes_per_ms(self.transfer_rate_mb_s)
+
+
+@dataclass(frozen=True)
+class ZoningParams:
+    """Zoned-bit-recording figures of a mechanical drive.
+
+    Defaults are the 36Z15 datasheet's max/min sectors-per-track; the
+    base simulator uses the constant average
+    (:attr:`DiskParams.sectors_per_track`), and
+    :class:`repro.geometry.zones.ZonedGeometry` consumes these for the
+    zoned refinement.
+    """
+
+    n_zones: int = 8
+    outer_sectors: int = 504
+    inner_sectors: int = 376
+
+    def validate(self) -> None:
+        if self.n_zones < 1:
+            raise ConfigError(f"need >=1 zone, got {self.n_zones}")
+        if self.outer_sectors < self.inner_sectors:
+            raise ConfigError("outer tracks must hold >= inner tracks")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One named device type an array slot can be populated with.
+
+    Exactly one of ``hdd``/``ssd`` is set, matching ``kind``. The spec
+    is what the device registry (:mod:`repro.devices`) consumes to
+    build the slot's service-time model; :data:`DEVICE_PRESETS` holds
+    the named catalogue (``ultrastar_36z15``, ``generic_ssd``,
+    ``generic_nvme``).
+    """
+
+    name: str
+    kind: DeviceKind
+    hdd: Optional[DiskParams] = None
+    ssd: Optional[SsdParams] = None
+    #: ZBR figures (mechanical drives only; ``None`` for flash).
+    zoning: Optional[ZoningParams] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigError("device spec needs a name")
+        if self.kind is DeviceKind.HDD:
+            if self.hdd is None or self.ssd is not None:
+                raise ConfigError(
+                    f"device {self.name!r}: kind=hdd requires hdd params only"
+                )
+            self.hdd.validate()
+        else:
+            if self.ssd is None or self.hdd is not None:
+                raise ConfigError(
+                    f"device {self.name!r}: kind=ssd requires ssd params only"
+                )
+            self.ssd.validate()
+        if self.zoning is not None:
+            if self.kind is not DeviceKind.HDD:
+                raise ConfigError(
+                    f"device {self.name!r}: zoning applies to mechanical drives"
+                )
+            self.zoning.validate()
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity of the device."""
+        params = self.hdd if self.kind is DeviceKind.HDD else self.ssd
+        assert params is not None
+        return params.capacity_bytes
+
+
+#: The paper's measured drive: every Table 1 mechanical figure (seek
+#: curve, rotation, geometry, media rate) plus the datasheet ZBR
+#: figures, in one place — the single source of truth the config
+#: defaults, the zoned-geometry defaults and the tests all reference.
+ULTRASTAR_36Z15 = DeviceSpec(
+    name="ultrastar_36z15",
+    kind=DeviceKind.HDD,
+    hdd=DiskParams(),
+    zoning=ZoningParams(),
+)
+
+#: A SATA-class flash drive: ~0.1 ms flat reads, 4 channels.
+GENERIC_SSD = DeviceSpec(
+    name="generic_ssd",
+    kind=DeviceKind.SSD,
+    ssd=SsdParams(),
+)
+
+#: An NVMe-class flash drive: deeper parallelism, lower latency.
+GENERIC_NVME = DeviceSpec(
+    name="generic_nvme",
+    kind=DeviceKind.SSD,
+    ssd=SsdParams(
+        read_latency_ms=0.02,
+        write_latency_ms=0.06,
+        transfer_rate_mb_s=3000.0,
+        channels=8,
+        command_overhead_ms=0.005,
+    ),
+)
+
+#: Named device catalogue for :attr:`SimConfig.devices` slots.
+DEVICE_PRESETS = {
+    spec.name: spec for spec in (ULTRASTAR_36Z15, GENERIC_SSD, GENERIC_NVME)
+}
+
+
+def device_preset(name: str) -> DeviceSpec:
+    """Look up a named :class:`DeviceSpec` (:class:`ConfigError` if unknown)."""
+    spec = DEVICE_PRESETS.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown device preset {name!r} (have {sorted(DEVICE_PRESETS)})"
+        )
+    spec.validate()
+    return spec
+
+
+@dataclass(frozen=True)
 class CacheParams:
     """Disk-controller cache parameters (Table 1 defaults).
 
@@ -274,6 +448,11 @@ class SimConfig:
     #: Controller retry/backoff/timeout policy (only consulted when a
     #: fault profile is attached).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-slot device preset names (one per array slot, see
+    #: :data:`DEVICE_PRESETS`). ``None`` keeps the homogeneous all-HDD
+    #: array described by :attr:`disk`; a tuple lets slots mix
+    #: technologies (hybrid HDD+SSD mirrors, SSD tiers).
+    devices: Optional[Tuple[str, ...]] = None
     seed: int = 1
 
     def validate(self) -> None:
@@ -299,6 +478,26 @@ class SimConfig:
             raise ConfigError(
                 "controller cache fully consumed by HDC region + bitmap overhead"
             )
+        if self.devices is not None:
+            if len(self.devices) != self.array.n_disks:
+                raise ConfigError(
+                    f"devices lists {len(self.devices)} slots for an "
+                    f"array of {self.array.n_disks} disks"
+                )
+            blocks = {
+                device_preset(name).capacity_bytes // self.block_size
+                for name in self.devices
+            }
+            if len(blocks) != 1:
+                raise ConfigError(
+                    "all array slots must expose the same block count "
+                    f"(got {sorted(blocks)}); pick equal-capacity presets"
+                )
+            if blocks.pop() != self.disk_blocks:
+                raise ConfigError(
+                    "device preset capacity disagrees with disk params "
+                    "(striping layout would not match)"
+                )
 
     # -- derived quantities ------------------------------------------------
 
@@ -326,6 +525,29 @@ class SimConfig:
     def hdc_blocks(self) -> int:
         """Per-disk HDC capacity in blocks."""
         return self.hdc_bytes // self.block_size
+
+    def device_spec(self, slot: int) -> DeviceSpec:
+        """The :class:`DeviceSpec` populating array slot ``slot``.
+
+        With no :attr:`devices` list the whole array is built from
+        :attr:`disk`, wrapped as an anonymous mechanical device so the
+        device registry has a uniform surface.
+        """
+        if not 0 <= slot < self.array.n_disks:
+            raise ConfigError(
+                f"slot {slot} out of range for {self.array.n_disks} disks"
+            )
+        if self.devices is None:
+            return DeviceSpec(name="config_disk", kind=DeviceKind.HDD,
+                              hdd=self.disk)
+        return device_preset(self.devices[slot])
+
+    @property
+    def device_kinds(self) -> Tuple[DeviceKind, ...]:
+        """Per-slot media technology (all-HDD when :attr:`devices` is unset)."""
+        return tuple(
+            self.device_spec(slot).kind for slot in range(self.array.n_disks)
+        )
 
     @property
     def bitmap_overhead_bytes(self) -> int:

@@ -279,7 +279,13 @@ class MediaPath:
     # ------------------------------------------------------------------
 
     def _kick(self) -> None:
-        """Dispatch queued jobs while the media is idle."""
+        """Dispatch queued jobs while the media has a free channel.
+
+        On a single-channel mechanical drive the first dispatch marks
+        the media busy and ends the loop — the historical serial
+        service loop. Multi-channel devices (flash) keep dispatching
+        until every channel is occupied or the queue drains.
+        """
         while not self.drive.busy and self.scheduler:
             if self._should_anticipate():
                 return
@@ -295,12 +301,10 @@ class MediaPath:
                 )
             job: MediaJob = req.payload
             if job.kind == MediaJob.READ:
-                if self._dispatch_read(job):
-                    return  # media now busy
-                # else: satisfied from cache while queued; keep looping
+                # False: satisfied from cache while queued; keep looping
+                self._dispatch_read(job)
             else:
                 self._dispatch_rest(job)
-                return
 
     def _should_anticipate(self) -> bool:
         """Whether to hold the media idle waiting for the last reader.

@@ -1,0 +1,57 @@
+"""Device-model registry: :class:`DeviceKind` → model builder.
+
+Mirrors the controller's policy registry (:mod:`repro.registry`):
+concrete device models self-register at import time and the host layer
+constructs per-slot models through :func:`make_device_model` without
+naming any concrete class. This file plus :mod:`repro.devices.base` is
+the whole surface ``disk/`` and ``array/`` are allowed to see.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.config import DeviceKind, DeviceSpec
+from repro.devices.base import DeviceModel
+from repro.errors import ConfigError
+
+#: Builder: ``(spec, block_size, rng, deterministic_rotation) -> model``.
+DeviceBuilder = Callable[
+    [DeviceSpec, int, Optional[np.random.Generator], bool], DeviceModel
+]
+
+DEVICE_MODELS: Dict[DeviceKind, DeviceBuilder] = {}
+
+
+def register_device(kind: DeviceKind) -> Callable[[DeviceBuilder], DeviceBuilder]:
+    """Class/function decorator registering a device-model builder."""
+
+    def deco(builder: DeviceBuilder) -> DeviceBuilder:
+        if kind in DEVICE_MODELS:
+            raise ConfigError(f"device kind {kind.value!r} registered twice")
+        DEVICE_MODELS[kind] = builder
+        return builder
+
+    return deco
+
+
+def make_device_model(
+    spec: DeviceSpec,
+    block_size: int,
+    rng: Optional[np.random.Generator] = None,
+    deterministic_rotation: bool = False,
+) -> DeviceModel:
+    """Build the service-time model for one array slot.
+
+    ``rng`` feeds any stochastic phase (the HDD's sampled rotational
+    latency); deterministic devices ignore it, so the host can hand
+    every slot its named stream unconditionally.
+    """
+    builder = DEVICE_MODELS.get(spec.kind)
+    if builder is None:
+        raise ConfigError(
+            f"no device model registered for kind {spec.kind.value!r}"
+        )
+    return builder(spec, block_size, rng, deterministic_rotation)

@@ -1,11 +1,15 @@
-"""The mechanical disk: head position plus a serial media service loop.
+"""One physical device: head position plus a bounded media service loop.
 
-The drive executes one media operation at a time. Each operation's
-duration comes from :class:`~repro.mechanics.service.ServiceTimeModel`:
-command overhead + seek from the current head position + sampled
-rotational latency + transfer of the whole run (requested plus
+The drive is a bounded-concurrency media server: it accepts up to
+``device.channels`` concurrent media operations (1 for a mechanical
+disk — the historical serial loop — N for flash with internal channel
+parallelism). Each operation's duration comes from the slot's
+:class:`~repro.devices.base.DeviceModel`: for the paper's mechanical
+path that is command overhead + seek from the current head position +
+sampled rotational latency + transfer of the whole run (requested plus
 read-ahead — "no other request can start before the disk head finishes
-reading all the blocks that had already been scheduled").
+reading all the blocks that had already been scheduled"); for flash a
+flat access latency plus transfer.
 
 Every operation's phase split (overhead/seek/rotation/transfer) is
 accumulated on the drive, so time-in-state breakdowns are available on
@@ -18,28 +22,33 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.devices.base import DeviceModel
 from repro.errors import SimulationError
-from repro.mechanics.service import ServiceTimeModel
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
 
 
 class DiskDrive:
-    """Serial media server for one physical disk."""
+    """Bounded-concurrency media server for one physical device."""
 
     def __init__(
         self,
         disk_id: int,
         sim: Simulator,
-        service_model: ServiceTimeModel,
+        device: DeviceModel,
         tracer=NULL_TRACER,
     ):
         self.disk_id = disk_id
         self.sim = sim
-        self.service_model = service_model
-        self.geometry = service_model.geometry
+        self.device = device
+        #: Historical name for the per-slot device model, kept so the
+        #: mechanical path reads the same as before the device refactor.
+        self.service_model = device
+        self.geometry = device.geometry
+        #: Concurrent media operations the device sustains (1 = the
+        #: classic serial mechanical loop).
+        self.n_channels = max(1, int(getattr(device, "channels", 1)))
         self.head_block = 0
-        self.busy = False
         self.tracer = tracer
         self._track = f"disk{disk_id}"
         self._state_track = f"disk{disk_id}/state"
@@ -48,6 +57,7 @@ class DiskDrive:
         #: :meth:`~repro.controller.controller.DiskController.attach_faults`.
         self.faults = None
         self._slow_factor = 1.0
+        self._in_flight = 0
         # accounting
         self.busy_time: float = 0.0
         self.operations: int = 0
@@ -56,9 +66,26 @@ class DiskDrive:
         self.rotation_time_total: float = 0.0
         self.transfer_time_total: float = 0.0
         self.overhead_time_total: float = 0.0
+        #: Peak concurrent media operations observed (== 1 on a
+        #: mechanical drive; > 1 proves channel parallelism engaged).
+        self.max_concurrent: int = 0
         #: Extra busy time injected by slow-response faults (ms); the
         #: phase totals above cover only the mechanical service split.
         self.fault_delay_ms: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """Whether the device can accept no further media operation.
+
+        A mechanical drive is busy whenever one operation is in
+        flight; a multi-channel device only once every channel is.
+        """
+        return self._in_flight >= self.n_channels
+
+    @property
+    def in_flight(self) -> int:
+        """Media operations currently being serviced."""
+        return self._in_flight
 
     @property
     def head_cylinder(self) -> int:
@@ -80,7 +107,8 @@ class DiskDrive:
         """Run one media operation; ``on_done`` fires at completion.
 
         Returns the operation's duration (useful for tests). The drive
-        must be idle — the controller's kick loop guarantees this.
+        must have a free channel — the controller's kick loop
+        guarantees this.
 
         With a fault injector attached, the operation may be stretched
         (slow response) or complete with a transient error, in which
@@ -98,8 +126,8 @@ class DiskDrive:
                 f"media op [{start_block},{start_block + n_blocks}) past disk end"
             )
 
-        phases = self.service_model.breakdown(
-            self.head_block, start_block, n_blocks
+        phases = self.device.breakdown(
+            self.head_block, start_block, n_blocks, is_write
         )
         duration = phases.total_ms
         self.overhead_time_total += phases.overhead_ms
@@ -114,7 +142,9 @@ class DiskDrive:
             if extra_ms > 0.0:
                 duration += extra_ms
                 self.fault_delay_ms += extra_ms
-        self.busy = True
+        self._in_flight += 1
+        if self._in_flight > self.max_concurrent:
+            self.max_concurrent = self._in_flight
 
         tracer = self.tracer
         if tracer.enabled:
@@ -150,7 +180,7 @@ class DiskDrive:
         error: Optional[str],
         on_done: Callable[..., None],
     ) -> None:
-        self.busy = False
+        self._in_flight -= 1
         self.head_block = start_block + n_blocks - 1
         self.busy_time += duration
         self.operations += 1
@@ -161,7 +191,11 @@ class DiskDrive:
             on_done()
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` the media was busy."""
+        """Fraction of ``elapsed`` the media capacity was busy.
+
+        Normalised by channel count, so a 4-channel flash device with
+        one channel always running reports 0.25.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        return min(1.0, self.busy_time / (elapsed * self.n_channels))

@@ -30,6 +30,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    hybrid_array,
     scale_sweep,
     service_demo,
     table1,
@@ -60,6 +61,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "trace_replay": trace_replay.main,
     "scale_sweep": scale_sweep.main,
     "service_demo": service_demo.main,
+    "hybrid_array": hybrid_array.main,
 }
 
 #: run(scale=..., seed=...) entry points (programmatic access).
@@ -84,6 +86,7 @@ RUNNERS: Dict[str, Callable] = {
     "trace_replay": trace_replay.run,
     "scale_sweep": scale_sweep.run,
     "service_demo": service_demo.run,
+    "hybrid_array": hybrid_array.run,
 }
 
 
@@ -123,6 +126,7 @@ SWEEPS: Dict[str, SweepSpec] = {
     "availability": SweepSpec("mtbf_s", tuple(availability.MTBF_S)),
     "trace_replay": SweepSpec("techniques", tuple(trace_replay.TECHNIQUE_KEYS)),
     "scale_sweep": SweepSpec("clients", tuple(scale_sweep.CLIENT_COUNTS)),
+    "hybrid_array": SweepSpec("arrays", tuple(hybrid_array.ARRAYS)),
     # Live-service demo: tenant bursts share one server and one engine
     # thread; timing-dependent by design, so it never splits (and is
     # never golden-diffed).

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.config import DiskParams
+from repro.config import ULTRASTAR_36Z15, DiskParams, ZoningParams
 from repro.errors import AddressError, ConfigError
 
 
@@ -47,10 +47,20 @@ class ZonedGeometry:
         self,
         disk: DiskParams,
         block_size: int,
-        n_zones: int = 8,
-        outer_sectors: int = 504,
-        inner_sectors: int = 376,
+        n_zones: Optional[int] = None,
+        outer_sectors: Optional[int] = None,
+        inner_sectors: Optional[int] = None,
     ):
+        # Defaults come from the 36Z15 device preset — the single
+        # source of truth for the datasheet's ZBR figures.
+        zoning = ULTRASTAR_36Z15.zoning or ZoningParams()
+        n_zones = zoning.n_zones if n_zones is None else n_zones
+        outer_sectors = (
+            zoning.outer_sectors if outer_sectors is None else outer_sectors
+        )
+        inner_sectors = (
+            zoning.inner_sectors if inner_sectors is None else inner_sectors
+        )
         if n_zones < 1:
             raise ConfigError(f"need >=1 zone, got {n_zones}")
         if outer_sectors < inner_sectors:

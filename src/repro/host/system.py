@@ -19,10 +19,10 @@ from repro.config import ReadAheadKind, SimConfig
 from repro.controller.controller import DiskController
 from repro.disk.drive import DiskDrive
 from repro.errors import ConfigError
+from repro.devices import make_device_model
 from repro.faults.injector import FaultRuntime
 from repro.faults.plan import FaultPlan
 from repro.faults.profile import active_fault_profile
-from repro.mechanics.service import ServiceTimeModel
 from repro.obs.tracer import active_tracer
 from repro.readahead.bitmap import SequentialityBitmap
 from repro.registry import make_cache, make_readahead
@@ -71,13 +71,16 @@ class System:
 
         controllers: List[DiskController] = []
         for disk_id in range(config.array.n_disks):
-            service = ServiceTimeModel(
-                config.disk,
+            # Every slot gets its named rotation stream — deterministic
+            # devices simply never draw from it, so stream creation
+            # order (and with it every committed golden) is unchanged.
+            device = make_device_model(
+                config.device_spec(disk_id),
                 config.block_size,
                 rng=self.streams.stream(f"disk{disk_id}.rotation"),
                 deterministic_rotation=deterministic_rotation,
             )
-            drive = DiskDrive(disk_id, self.sim, service, tracer=self.tracer)
+            drive = DiskDrive(disk_id, self.sim, device, tracer=self.tracer)
             cache = make_cache(config, disk_id, self.streams)
             readahead = make_readahead(config, disk_id, self.bitmaps)
             controller = DiskController(

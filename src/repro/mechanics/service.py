@@ -59,14 +59,20 @@ class ServiceTimeModel:
         self.command_overhead_ms = disk.command_overhead_ms
 
     def breakdown(
-        self, from_block: int, start_block: int, n_blocks: int
+        self,
+        from_block: int,
+        start_block: int,
+        n_blocks: int,
+        is_write: bool = False,
     ) -> ServiceBreakdown:
         """Sampled per-phase service times for one media operation.
 
         Samples the rotational latency exactly once, in the same order
         as :meth:`service_time` always did, so replacing a
         ``service_time`` call with ``breakdown(...).total_ms`` leaves
-        every random stream untouched.
+        every random stream untouched. ``is_write`` is part of the
+        device-model contract; mechanical reads and writes cost the
+        same, so it is accepted and ignored here.
         """
         distance = self.geometry.seek_distance(from_block, start_block)
         return ServiceBreakdown(

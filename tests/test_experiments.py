@@ -158,6 +158,7 @@ class TestRegistryAndCli:
         expected |= {"trace_replay"}  # real-trace ingestion extension
         expected |= {"scale_sweep"}  # client-population scale extension
         expected |= {"service_demo"}  # live block-service extension
+        expected |= {"hybrid_array"}  # heterogeneous-array extension
         assert set(EXPERIMENTS) == expected
         assert set(RUNNERS) == expected
 

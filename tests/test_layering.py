@@ -100,6 +100,32 @@ def test_checker_flags_service_device_import(tmp_path, monkeypatch):
     assert len(errors) == 1 and "repro.controller.controller" in errors[0]
 
 
+def test_checker_flags_device_internals_import(tmp_path, monkeypatch):
+    """disk/ and array/ reaching past the device registry (planted
+    mechanics and concrete-model imports) trip rule 9; the registry
+    surface itself stays allowed."""
+    checker = load_checker()
+    src = tmp_path / "src"
+    disk = src / "repro" / "disk"
+    disk.mkdir(parents=True)
+    (disk / "sneaky.py").write_text(
+        "from repro.mechanics.service import ServiceTimeModel\n"
+        "from repro.devices.base import DeviceModel\n"  # allowed
+    )
+    array = src / "repro" / "array"
+    array.mkdir(parents=True)
+    (array / "sneaky.py").write_text(
+        "from repro.devices.flash import FlashServiceModel\n"
+        "from repro.devices import make_device_model\n"  # allowed
+    )
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_device_registry_surface(errors)
+    assert len(errors) == 2
+    assert "repro.mechanics.service" in errors[0]
+    assert "repro.devices.flash" in errors[1]
+
+
 def test_checker_flags_private_cross_import(tmp_path, monkeypatch):
     checker = load_checker()
     src = tmp_path / "src"

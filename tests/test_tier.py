@@ -1,0 +1,139 @@
+"""The SSD tier in front of spinning disks (:mod:`repro.array.tier`).
+
+The tier is a block-level LRU read cache: misses go to the backing
+spindle and populate the flash slot, hits are served by flash at the
+same physical address, writes go through and invalidate. These tests
+pin the residency protocol (hit/miss/fill/invalidate/evict counters),
+the hit routing (flash slot receives the media read) and the two
+submission interfaces.
+"""
+
+import pytest
+
+from repro.array.tier import SsdTierArray
+from repro.config import ArrayParams, ultrastar_36z15_config
+from repro.controller.commands import DiskCommand
+from repro.errors import ConfigError, SimulationError
+from repro.host.system import System
+from repro.units import KB
+
+
+@pytest.fixture
+def tiered():
+    """Two 36Z15 backing spindles fronted by two flash slots."""
+    config = ultrastar_36z15_config(
+        array=ArrayParams(n_disks=4, striping_unit_bytes=16 * KB),
+        devices=("ultrastar_36z15",) * 2 + ("generic_ssd",) * 2,
+        seed=3,
+    )
+    system = System(config)
+    return system, SsdTierArray(system.array, n_backing=2)
+
+
+def _read(system, tier, disk, start, n=4):
+    done = []
+    cmd = DiskCommand(disk, start, n, False, -1, lambda c: done.append(c))
+    tier.submit_command(cmd)
+    system.sim.run()
+    assert done and done[0].error is None
+    return cmd
+
+
+def _write(system, tier, disk, start, n=4):
+    cmd = DiskCommand(disk, start, n, True, -1, lambda c: None)
+    tier.submit_command(cmd)
+    system.sim.run()
+    return cmd
+
+
+def test_needs_backing_and_tier_slots(tiered):
+    system, _ = tiered
+    with pytest.raises(ConfigError):
+        SsdTierArray(system.array, n_backing=0)
+    with pytest.raises(ConfigError):
+        SsdTierArray(system.array, n_backing=4)
+
+
+def test_capacity_counts_the_backing_set_only(tiered):
+    system, tier = tiered
+    assert tier.n_disks == 4
+    assert tier.n_backing == 2 and tier.n_tier == 2
+    assert tier.logical_capacity_blocks == tier.striping.total_blocks
+    assert tier.striping.n_disks == 2
+
+
+def test_miss_populates_then_hit_serves_from_flash(tiered):
+    system, tier = tiered
+    _read(system, tier, 0, 128)
+    assert (tier.tier_misses, tier.tier_hits, tier.tier_fills) == (1, 0, 1)
+    before = system.controllers[tier.tier_for(0)].stats.commands
+    _read(system, tier, 0, 128)
+    assert (tier.tier_misses, tier.tier_hits) == (1, 1)
+    assert tier.hit_rate() == 0.5
+    # the hit went to the flash slot mapped to backing disk 0
+    after = system.controllers[tier.tier_for(0)].stats.commands
+    assert after == before + 1
+
+
+def test_partial_residency_is_a_miss(tiered):
+    system, tier = tiered
+    _read(system, tier, 0, 128, n=4)
+    _read(system, tier, 0, 130, n=4)  # overlaps but extends past the copy
+    assert tier.tier_misses == 2 and tier.tier_hits == 0
+
+
+def test_write_through_invalidates(tiered):
+    system, tier = tiered
+    _read(system, tier, 0, 128)
+    _write(system, tier, 0, 130, n=2)
+    assert tier.tier_invalidations == 2
+    _read(system, tier, 0, 128)  # stale blocks gone → full-run miss
+    assert tier.tier_misses == 2
+    # the write itself landed on the backing spindle
+    assert system.controllers[0].stats.media_blocks_written >= 2
+
+
+def test_lru_eviction_when_capacity_shrunk(tiered):
+    system, _ = tiered
+    tier = SsdTierArray(system.array, n_backing=2, capacity_blocks=4)
+    _read(system, tier, 0, 0, n=4)
+    _read(system, tier, 0, 100, n=4)  # displaces the first run
+    assert tier.tier_evictions == 4
+    _read(system, tier, 0, 0, n=4)
+    assert tier.tier_misses == 3 and tier.tier_hits == 0
+    _read(system, tier, 0, 0, n=4)  # still resident after re-fill
+    assert tier.tier_hits == 1
+
+
+def test_populate_on_read_can_be_disabled(tiered):
+    system, _ = tiered
+    tier = SsdTierArray(system.array, n_backing=2, populate_on_read=False)
+    _read(system, tier, 0, 128)
+    _read(system, tier, 0, 128)
+    assert tier.tier_fills == 0 and tier.tier_hits == 0
+    assert tier.tier_misses == 2
+
+
+def test_submit_logical_spans_backing_stripes(tiered):
+    system, tier = tiered
+    done = []
+    unit = tier.striping.unit_blocks
+    commands = tier.submit_logical(
+        0, unit + 2, on_complete=lambda: done.append(1)
+    )
+    system.sim.run()
+    assert done == [1]
+    assert sorted(c.disk_id for c in commands) == [0, 1]
+    assert tier.tier_misses == 2
+
+
+def test_submit_command_rejects_tier_addresses(tiered):
+    _, tier = tiered
+    with pytest.raises(SimulationError):
+        tier.submit_command(DiskCommand(2, 0, 4))
+
+
+def test_tier_slots_round_robin_over_backing(tiered):
+    _, tier = tiered
+    assert tier.tier_for(0) == 2
+    assert tier.tier_for(1) == 3

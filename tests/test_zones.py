@@ -38,6 +38,36 @@ def test_zone_of_boundaries(zoned):
         zoned.zone_of(zoned.n_blocks)
 
 
+def test_cylinder_of_at_zone_boundaries(zoned):
+    """Edge blocks: first/last of the disk and both sides of every
+    zone seam map to in-range, contiguous cylinders."""
+    assert zoned.cylinder_of(0) == 0
+    assert zoned.cylinder_of(zoned.n_blocks - 1) == zoned.n_cylinders - 1
+    for zone in zoned.zones:
+        first_cyl = zoned.cylinder_of(zone.first_block)
+        last_cyl = zoned.cylinder_of(zone.end_block - 1)
+        assert first_cyl == zone.first_cylinder
+        assert last_cyl == zone.first_cylinder + zone.n_cylinders - 1
+    for before, after in zip(zoned.zones, zoned.zones[1:]):
+        # No cylinder gap across the seam despite the density change.
+        assert (
+            zoned.cylinder_of(after.first_block)
+            - zoned.cylinder_of(after.first_block - 1)
+            == 1
+        )
+
+
+def test_zoned_defaults_come_from_the_preset():
+    """Omitting the ZBR knobs pulls the 36Z15 preset's figures."""
+    from repro.config import ULTRASTAR_36Z15
+
+    zoning = ULTRASTAR_36Z15.zoning
+    defaulted = ZonedGeometry(DiskParams(capacity_bytes=512 * MB), 4 * KB)
+    assert defaulted.n_zones == zoning.n_zones
+    assert defaulted.zones[0].sectors_per_track == zoning.outer_sectors
+    assert defaulted.zones[-1].sectors_per_track == zoning.inner_sectors
+
+
 def test_cylinder_monotone_in_block(zoned):
     cylinders = [zoned.cylinder_of(b) for b in range(0, zoned.n_blocks, 997)]
     assert cylinders == sorted(cylinders)

@@ -33,6 +33,13 @@ Enforced rules (AST-level, no imports executed):
    (``controller``, ``cache``, ``disk``, ``mechanics``, ``scheduling``,
    ``bus``, ...): whatever the wire protocol needs must be reachable
    through the host-layer surface, or it doesn't belong on the wire.
+9. **Devices are reached through the registry** — ``repro.disk`` and
+   ``repro.array`` consume device models only through the registry
+   surface (``repro.devices``, ``repro.devices.base``,
+   ``repro.devices.registry``), never the mechanical internals
+   (``repro.mechanics``, ``repro.geometry``) or a concrete model
+   module (``repro.devices.hdd``, ``repro.devices.flash``) — that
+   boundary is what keeps new device technologies drop-in.
 
 Run from the repository root: ``python tools/check_layering.py``.
 Exits non-zero listing every violation.
@@ -209,6 +216,38 @@ def check_service_independence(errors: List[str]) -> None:
                 )
 
 
+#: The only device-model surface ``repro.disk``/``repro.array`` may
+#: import from; the mechanics/geometry internals and the concrete
+#: model modules stay behind the registry.
+DEVICE_SURFACE = (
+    "repro.devices.base",
+    "repro.devices.registry",
+    "repro.devices",
+)
+DEVICE_INTERNAL_PREFIXES = ("repro.mechanics", "repro.geometry")
+DEVICE_CONCRETE = {"repro.devices.hdd", "repro.devices.flash"}
+
+
+def check_device_registry_surface(errors: List[str]) -> None:
+    for package in ("disk", "array"):
+        for path in sorted((SRC / "repro" / package).glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for module, _names in iter_imports(tree):
+                if module.startswith(DEVICE_INTERNAL_PREFIXES):
+                    errors.append(
+                        f"{path}: repro.{package} must reach device "
+                        f"models through the registry surface "
+                        f"({', '.join(DEVICE_SURFACE)}), not mechanical "
+                        f"internals (imports {module})"
+                    )
+                elif module in DEVICE_CONCRETE:
+                    errors.append(
+                        f"{path}: repro.{package} imports concrete device "
+                        f"module {module}; use the registry surface "
+                        f"({', '.join(DEVICE_SURFACE)}) instead"
+                    )
+
+
 def main() -> int:
     errors: List[str] = []
     check_stage_order(errors)
@@ -219,6 +258,7 @@ def main() -> int:
     check_ingest_independence(errors)
     check_loadgen_independence(errors)
     check_service_independence(errors)
+    check_device_registry_surface(errors)
     if errors:
         print(f"layering check: {len(errors)} violation(s)", file=sys.stderr)
         for err in errors:
