@@ -11,8 +11,11 @@ to ``BENCH_hotpath.json``.
 The segment scenarios sweep the segment count (64 / 512 / 2048)
 because the old linear victim scan was O(n_segments) per replacement:
 the heap-based core should hold roughly flat per-fill cost where the
-old code degraded linearly.  CI runs this as a *non-gating* step; the
-JSON is an artifact for trend-watching, not a pass/fail signal.
+old code degraded linearly.  CI's ``perf-gate`` job runs this as a
+*gating* step: the output feeds ``python -m repro.perfkit gate``,
+which compares every scenario against the committed
+``BENCH_trajectory.json`` history and fails the build on a slowdown
+beyond the noise envelope (see :mod:`repro.perfkit.trajectory`).
 
 Usage: ``PYTHONPATH=src python benchmarks/bench_hotpath.py [-o OUT]``
 """

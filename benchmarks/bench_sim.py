@@ -30,10 +30,12 @@ sources plus the flash device model:
 Output is ``BENCH_sim.json``: per scenario the wall seconds, the
 records/second, the pre-PR baseline records/second measured with this
 same harness before the PR-6 fast path landed, and the speedup over
-that baseline. CI runs this every PR and uploads the JSON as an
-artifact with a printed trend line; correctness is gated separately by
-the golden byte-identity diffs (the fast path must not change a single
-output byte).
+that baseline. CI's ``perf-gate`` job runs this every PR as a *gating*
+step: ``python -m repro.perfkit gate`` compares every scenario against
+the committed ``BENCH_trajectory.json`` history and fails the build on
+a regression beyond the noise envelope. Correctness is gated
+separately by the golden byte-identity diffs (the fast path must not
+change a single output byte).
 
 Usage: ``PYTHONPATH=src python benchmarks/bench_sim.py [-o OUT]
 [--scale S] [--profile SCENARIO]``

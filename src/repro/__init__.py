@@ -107,6 +107,16 @@ from repro.obs import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.perfkit import (
+    AttributionReport,
+    GatePolicy,
+    PhaseDetector,
+    TrajectoryStore,
+    attribute_shift,
+    detect_phases,
+    gate,
+    summarize_run,
+)
 from repro.service.qos import QoSPolicy
 from repro.sim.engine import Simulator
 from repro.workloads.fileserver import FileServerSpec, FileServerWorkload
@@ -245,5 +255,14 @@ __all__ = [
     "preset_population",
     "generate_records",
     "population_trace",
+    # performance analytics
+    "PhaseDetector",
+    "detect_phases",
+    "AttributionReport",
+    "summarize_run",
+    "attribute_shift",
+    "TrajectoryStore",
+    "GatePolicy",
+    "gate",
     "__version__",
 ]

@@ -3,7 +3,11 @@
 Also reachable as ``python -m repro <experiment>``. With ``all``, every
 experiment runs in sequence (slow at full scale; pass ``--scale``).
 ``--chart`` appends an ASCII rendering of the series, so curve shapes
-can be eyeballed without a plotting stack.
+can be eyeballed without a plotting stack. ``--report PATH`` writes a
+:func:`repro.perfkit.report.series_report` markdown page for the run —
+series table, sparklines, and the experiment's analysis section (knee
+tables for ``scale_sweep``/``hybrid_array``) — alongside the normal
+stdout tables.
 
 Parallel sweeps: ``--jobs N`` fans the experiment's independent cells
 over N worker processes and ``--cache-dir``/``--no-cache`` control the
@@ -50,7 +54,7 @@ def usage() -> str:
     return (
         "usage: repro-exp <experiment> [--scale X] [--chart]\n"
         "                 [--jobs N] [--cache-dir DIR] [--no-cache]\n"
-        "                 [--faults PROFILE]\n"
+        "                 [--faults PROFILE] [--report PATH]\n"
         "                 [--trace] [--trace-out PATH] [--trace-limit N]\n"
         f"experiments: {names} all\n"
         "fault profiles: none light flaky heavy\n"
@@ -58,7 +62,8 @@ def usage() -> str:
         "example: repro-exp fig07 --jobs 4          # parallel + cached\n"
         "example: repro-exp fig07 --jobs 4 --no-cache\n"
         "example: repro-exp availability --faults heavy --scale 0.2\n"
-        "example: repro-exp fig07 --scale 0.05 --trace   # fig07.trace.json"
+        "example: repro-exp fig07 --scale 0.05 --trace   # fig07.trace.json\n"
+        "example: repro-exp scale_sweep --scale 0.02 --report sweep.md"
     )
 
 
@@ -75,6 +80,7 @@ def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
         "trace_out": None,
         "trace_limit": None,
         "faults": None,
+        "report": None,
     }
 
     def value_of(flag: str) -> Optional[str]:
@@ -97,6 +103,7 @@ def _parse_options(rest: Sequence[str]) -> Dict[str, object]:
     if limit is not None:
         opts["trace_limit"] = int(limit)
     opts["faults"] = value_of("--faults")
+    opts["report"] = value_of("--report")
     # Pointing at an output file or capping events implies tracing.
     if opts["trace_out"] is not None or opts["trace_limit"] is not None:
         opts["trace"] = True
@@ -113,7 +120,7 @@ def _strip_cli_flags(rest: Sequence[str]) -> list:
             continue
         if arg == "--trace":
             continue
-        if arg in ("--trace-out", "--trace-limit", "--faults"):
+        if arg in ("--trace-out", "--trace-limit", "--faults", "--report"):
             skip = True
             continue
         out.append(arg)
@@ -126,6 +133,16 @@ def _wants_parallel(opts: Dict[str, object]) -> bool:
         or opts["cache_dir"] is not None
         or opts["no_cache"]
     )
+
+
+def _write_report(result, path) -> None:
+    """Render the result as a perfkit markdown report at ``path``."""
+    from pathlib import Path
+
+    from repro.perfkit.report import series_report
+
+    Path(path).write_text(series_report(result), encoding="utf-8")
+    print(f"report -> {path}", file=sys.stderr)
 
 
 def _print_chart(result) -> None:
@@ -156,17 +173,22 @@ def _run_parallel(name: str, opts: Dict[str, object]) -> None:
     print(result.to_text())
     if opts["chart"]:
         _print_chart(result)
+    if opts["report"] is not None:
+        _write_report(result, opts["report"])
     print(metrics.to_text(), file=sys.stderr)
 
 
-def _run_with_chart(name: str, opts: Dict[str, object]) -> None:
+def _run_with_result(name: str, opts: Dict[str, object]) -> None:
     runner = RUNNERS[name]
     kwargs = {}
     if opts["scale"] is not None:
         kwargs["scale"] = opts["scale"]
     result = runner(**kwargs)
     print(result.to_text())
-    _print_chart(result)
+    if opts["chart"]:
+        _print_chart(result)
+    if opts["report"] is not None:
+        _write_report(result, opts["report"])
 
 
 def _dispatch(name: str, rest: Sequence[str], opts: Dict[str, object]) -> None:
@@ -182,8 +204,8 @@ def _dispatch(name: str, rest: Sequence[str], opts: Dict[str, object]) -> None:
 
         ctx = fault_profile(get_profile(opts["faults"]))
     with ctx:
-        if opts["chart"]:
-            _run_with_chart(name, opts)
+        if opts["chart"] or opts["report"] is not None:
+            _run_with_result(name, opts)
         else:
             EXPERIMENTS[name](_strip_cli_flags(rest))
 

@@ -16,6 +16,36 @@ from repro.errors import ReproError
 
 GLYPHS = "ox+*#@%&"
 
+#: Eight block glyphs, shortest to tallest, for sparklines.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a series as a one-line unicode sparkline.
+
+    Degenerate series must never break a report: an empty or all-NaN
+    series renders as ``(no data)``, a single point or an all-equal
+    series as mid-height blocks (there is no slope to show), and
+    non-finite points as ``·`` placeholders — no division by zero
+    anywhere.
+    """
+    finite = _finite(values)
+    if not finite:
+        return "(no data)"
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    mid = SPARK_GLYPHS[len(SPARK_GLYPHS) // 2]
+    out = []
+    for v in values:
+        if not (isinstance(v, (int, float)) and math.isfinite(v)):
+            out.append("·")
+        elif span == 0:
+            out.append(mid)
+        else:
+            idx = int((v - lo) / span * (len(SPARK_GLYPHS) - 1))
+            out.append(SPARK_GLYPHS[idx])
+    return "".join(out)
+
 
 def _finite(values: Sequence[float]) -> List[float]:
     return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]

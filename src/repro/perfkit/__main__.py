@@ -1,0 +1,149 @@
+"""CLI: ``python -m repro.perfkit <command>``.
+
+Commands:
+
+* ``report`` — render the fixed-seed smoke-sweep report (markdown; or
+  HTML with ``--html``). Byte-stable for a given ``--seed``/``--scale``
+  and trajectory file, which the golden test relies on.
+* ``gate`` — adapt a fresh ``BENCH_*.json`` into the trajectory
+  schema, compare it against the committed history under the
+  noise-aware policy, optionally append-and-save (``--append``) and
+  write a markdown gate report (``--report PATH``). Exit 1 on
+  regression: this is the CI ``perf-gate`` job's teeth.
+* ``phases`` — phase-detect the smoke workload and print the table
+  (a quick detector sanity check without running the simulator).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.perfkit.phases import detect_phases, phase_table
+from repro.perfkit.report import (
+    DEFAULT_TRAJECTORY,
+    SMOKE_SEED,
+    SMOKE_WINDOW,
+    markdown_to_html,
+    smoke_report,
+    smoke_workload,
+)
+from repro.perfkit.trajectory import (
+    BENCH_ADAPTERS,
+    GatePolicy,
+    TrajectoryStore,
+    gate,
+)
+
+
+def usage() -> str:
+    benches = "|".join(sorted(BENCH_ADAPTERS))
+    return (
+        "usage: python -m repro.perfkit <command> [options]\n"
+        "commands:\n"
+        "  report  [--seed N] [--scale X] [--trajectory PATH]\n"
+        "          [--out PATH] [--html]\n"
+        f"  gate    --bench {benches} --input BENCH.json\n"
+        "          [--trajectory PATH] [--append] [--label TEXT]\n"
+        "          [--report PATH]\n"
+        "  phases  [--seed N] [--scale X] [--window N]\n"
+        f"default trajectory: {DEFAULT_TRAJECTORY}"
+    )
+
+
+def _value_of(args: List[str], flag: str) -> Optional[str]:
+    if flag in args:
+        idx = args.index(flag)
+        if idx + 1 < len(args):
+            return args[idx + 1]
+    return None
+
+
+def _cmd_report(args: List[str]) -> int:
+    seed = int(_value_of(args, "--seed") or SMOKE_SEED)
+    scale = float(_value_of(args, "--scale") or 1.0)
+    trajectory = _value_of(args, "--trajectory") or DEFAULT_TRAJECTORY
+    out = _value_of(args, "--out")
+    text = smoke_report(scale=scale, seed=seed, trajectory_path=trajectory)
+    if "--html" in args:
+        text = markdown_to_html(text)
+    if out is not None:
+        Path(out).write_text(text, encoding="utf-8")
+        print(f"report -> {out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_gate(args: List[str]) -> int:
+    bench = _value_of(args, "--bench")
+    source = _value_of(args, "--input")
+    if bench not in BENCH_ADAPTERS or source is None:
+        print(usage(), file=sys.stderr)
+        return 2
+    trajectory = _value_of(args, "--trajectory") or DEFAULT_TRAJECTORY
+    label = _value_of(args, "--label") or ""
+    data = json.loads(Path(source).read_text(encoding="utf-8"))
+    run = BENCH_ADAPTERS[bench](data, label=label)
+    store = TrajectoryStore(trajectory)
+    report = gate(run, store.runs(bench), GatePolicy())
+    print(report.to_text())
+    report_path = _value_of(args, "--report")
+    if report_path is not None:
+        md = (
+            f"# perf-gate — bench `{bench}`\n\n"
+            f"```text\n{report.to_text()}\n```\n"
+        )
+        Path(report_path).write_text(md, encoding="utf-8")
+        print(f"gate report -> {report_path}", file=sys.stderr)
+    if "--append" in args:
+        if report.passed:
+            store.append(run)
+            store.save()
+            print(
+                f"appended run {run.run_id} to {trajectory}", file=sys.stderr
+            )
+        else:
+            print(
+                "regression detected: not appending to the trajectory",
+                file=sys.stderr,
+            )
+    return 0 if report.passed else 1
+
+
+def _cmd_phases(args: List[str]) -> int:
+    seed = int(_value_of(args, "--seed") or SMOKE_SEED)
+    scale = float(_value_of(args, "--scale") or 1.0)
+    window = int(_value_of(args, "--window") or SMOKE_WINDOW)
+    _layout, trace = smoke_workload(scale=scale, seed=seed)
+    phases = detect_phases(trace.records, window_records=window)
+    print(phase_table(phases))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(usage())
+        return 0
+    command, rest = args[0], args[1:]
+    handlers = {
+        "report": _cmd_report,
+        "gate": _cmd_gate,
+        "phases": _cmd_phases,
+    }
+    if command not in handlers:
+        print(f"unknown command {command!r}\n{usage()}", file=sys.stderr)
+        return 2
+    try:
+        return handlers[command](rest)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"perfkit: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

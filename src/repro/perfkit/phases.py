@@ -1,0 +1,281 @@
+"""Streaming workload-phase detection over record streams.
+
+A *phase* is a maximal stretch of a workload whose windowed signals —
+arrival rate, read/write mix, inter-record sequentiality and mean
+request size — stay close to their running phase mean. Replayed-trace
+results are only trustworthy when this structure is visible: a 10%
+end-to-end regression that is really a 40% regression confined to the
+write-burst phase attributes to a completely different mechanism.
+
+The detector is deliberately simple and exactly deterministic:
+
+* records stream through fixed-size windows (``window_records`` each);
+  only window accumulators and per-phase running means are kept, so
+  memory is constant however long the trace is;
+* when a completed window's signal vector deviates from the current
+  phase's running mean by more than ``threshold`` on any signal
+  (relative deviation, with per-signal floors so fractions near zero
+  do not explode), a new phase starts at that window boundary;
+* the final partial window joins the current phase (a tail shorter
+  than one window is never evidence of a new phase).
+
+Untimed records simply carry no rate signal; mix/sequentiality/size
+still detect phases. The same detector therefore runs over synthetic
+traces, ingested captures and loadgen populations unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.metrics.report import format_table
+from repro.units import MS_PER_S
+
+#: Signals computed per window, in presentation order.
+SIGNALS = ("rate_req_s", "write_frac", "seq_frac", "mean_blocks")
+
+#: Per-signal denominator floors for the relative deviation test:
+#: fractions use an absolute floor (a 0 -> 0.1 write-mix change should
+#: not read as an infinite relative shift), sizes a one-block floor.
+SIGNAL_FLOORS: Dict[str, float] = {
+    "rate_req_s": 1e-9,
+    "write_frac": 0.25,
+    "seq_frac": 0.25,
+    "mean_blocks": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected phase: record bounds, time bounds, mean signals."""
+
+    index: int
+    start_record: int
+    #: Exclusive end record index.
+    end_record: int
+    #: Arrival-time bounds in ms (``None`` for untimed streams).
+    start_ms: Optional[float]
+    end_ms: Optional[float]
+    #: Phase-mean value per signal in :data:`SIGNALS` (``rate_req_s``
+    #: is absent for untimed streams).
+    signals: Dict[str, float]
+
+    @property
+    def n_records(self) -> int:
+        return self.end_record - self.start_record
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.start_ms is None or self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+
+class _Window:
+    """Accumulator for one in-flight window of records."""
+
+    __slots__ = (
+        "count", "writes", "sequential", "blocks", "first_ts", "last_ts"
+    )
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.writes = 0
+        self.sequential = 0
+        self.blocks = 0
+        self.first_ts: Optional[float] = None
+        self.last_ts: Optional[float] = None
+
+    def signals(self) -> Dict[str, float]:
+        """The window's signal vector (requires ``count`` > 0)."""
+        out = {
+            "write_frac": self.writes / self.count,
+            "seq_frac": self.sequential / self.count,
+            "mean_blocks": self.blocks / self.count,
+        }
+        if self.first_ts is not None and self.last_ts is not None:
+            span_ms = self.last_ts - self.first_ts
+            if span_ms > 0:
+                out["rate_req_s"] = self.count / span_ms * MS_PER_S
+        return out
+
+
+class PhaseDetector:
+    """Streaming change-point detector over a record stream.
+
+    Feed records one at a time with :meth:`feed`; :meth:`finish`
+    returns the detected phases. Both are pure functions of the record
+    sequence — same stream, same phases, byte for byte.
+    """
+
+    def __init__(
+        self,
+        window_records: int = 256,
+        threshold: float = 0.5,
+    ) -> None:
+        if window_records < 2:
+            raise ReproError(
+                f"phase window needs >= 2 records, got {window_records}"
+            )
+        if threshold <= 0:
+            raise ReproError(f"phase threshold must be > 0, got {threshold}")
+        self.window_records = window_records
+        self.threshold = threshold
+        self._records_seen = 0
+        self._prev_end: Optional[int] = None
+        self._window = _Window()
+        self._phases: List[Phase] = []
+        # Current phase state: record bounds, time bounds, per-signal
+        # running sums over its absorbed windows (constant memory).
+        self._phase_start = 0
+        self._phase_start_ms: Optional[float] = None
+        self._phase_last_ms: Optional[float] = None
+        self._phase_windows = 0
+        self._phase_sums: Dict[str, float] = {}
+        self._finished = False
+
+    # -- streaming ----------------------------------------------------
+
+    def feed(self, record: object) -> None:
+        """Account one record (a :class:`~repro.workloads.trace.DiskAccess`
+        or anything duck-typed like it; a ``timestamp_ms`` attribute
+        makes the stream timed)."""
+        if self._finished:
+            raise ReproError("PhaseDetector.finish() was already called")
+        window = self._window
+        window.count += 1
+        if getattr(record, "is_write", False):
+            window.writes += 1
+        runs: Tuple[Tuple[int, int], ...] = record.runs  # type: ignore[attr-defined]
+        first = runs[0][0]
+        if self._prev_end is not None and first == self._prev_end:
+            window.sequential += 1
+        self._prev_end = runs[-1][0] + runs[-1][1]
+        window.blocks += sum(n for _, n in runs)
+        ts = getattr(record, "timestamp_ms", None)
+        if ts is not None:
+            ts = float(ts)
+            if window.first_ts is None:
+                window.first_ts = ts
+            window.last_ts = ts
+        self._records_seen += 1
+        if window.count >= self.window_records:
+            self._close_window(window)
+            self._window = _Window()
+
+    def finish(self) -> List[Phase]:
+        """Flush the tail window and return the detected phases."""
+        if not self._finished:
+            self._finished = True
+            # The final partial window joins the current phase: a tail
+            # shorter than one window is not change-point evidence.
+            if self._window.count:
+                self._absorb(self._window)
+            if self._records_seen:
+                self._seal_phase(self._records_seen)
+        return list(self._phases)
+
+    # -- internals ----------------------------------------------------
+
+    def _deviates(self, signals: Dict[str, float]) -> bool:
+        """Whether the window deviates from the current phase mean."""
+        if not self._phase_windows:
+            return False
+        for name, value in signals.items():
+            if name not in self._phase_sums:
+                continue
+            mean = self._phase_sums[name] / self._phase_windows
+            floor = SIGNAL_FLOORS[name]
+            if abs(value - mean) / max(abs(mean), floor) > self.threshold:
+                return True
+        return False
+
+    def _absorb(self, window: _Window) -> None:
+        """Fold one window into the current phase's running state."""
+        for name, value in window.signals().items():
+            self._phase_sums[name] = self._phase_sums.get(name, 0.0) + value
+        self._phase_windows += 1
+        if window.first_ts is not None:
+            if self._phase_start_ms is None:
+                self._phase_start_ms = window.first_ts
+            self._phase_last_ms = window.last_ts
+
+    def _close_window(self, window: _Window) -> None:
+        boundary = self._records_seen - window.count
+        if self._deviates(window.signals()):
+            # Seal the running phase at the boundary *before* this
+            # window: its time bounds come from absorbed windows only.
+            self._seal_phase(boundary)
+            self._phase_start = boundary
+            self._phase_start_ms = None
+            self._phase_last_ms = None
+            self._phase_windows = 0
+            self._phase_sums = {}
+        self._absorb(window)
+
+    def _seal_phase(self, end_record: int) -> None:
+        if end_record <= self._phase_start or not self._phase_windows:
+            return
+        means = {
+            name: total / self._phase_windows
+            for name, total in self._phase_sums.items()
+        }
+        self._phases.append(
+            Phase(
+                index=len(self._phases),
+                start_record=self._phase_start,
+                end_record=end_record,
+                start_ms=self._phase_start_ms,
+                end_ms=self._phase_last_ms,
+                signals=means,
+            )
+        )
+
+
+def detect_phases(
+    records: Iterable[object],
+    window_records: int = 256,
+    threshold: float = 0.5,
+) -> List[Phase]:
+    """Detect phases in one pass over ``records`` (may be a generator).
+
+    Returns ``[]`` for an empty stream and a single phase for a
+    homogeneous one.
+    """
+    detector = PhaseDetector(window_records=window_records, threshold=threshold)
+    for record in records:
+        detector.feed(record)
+    return detector.finish()
+
+
+def phase_table(phases: List[Phase]) -> str:
+    """Render detected phases as a fixed-width text table."""
+    if not phases:
+        return "(no records — no phases)"
+    timed = any(p.start_ms is not None for p in phases)
+    headers = ["phase", "records", "span"]
+    if timed:
+        headers += ["t_start_ms", "t_end_ms", "rate_req_s"]
+    headers += ["write_frac", "seq_frac", "mean_blocks"]
+    rows: List[List[object]] = []
+    for p in phases:
+        row: List[object] = [
+            p.index,
+            p.n_records,
+            f"[{p.start_record}, {p.end_record})",
+        ]
+        if timed:
+            row += [
+                p.start_ms if p.start_ms is not None else float("nan"),
+                p.end_ms if p.end_ms is not None else float("nan"),
+                p.signals.get("rate_req_s", float("nan")),
+            ]
+        row += [
+            p.signals.get("write_frac", 0.0),
+            p.signals.get("seq_frac", 0.0),
+            p.signals.get("mean_blocks", 0.0),
+        ]
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,355 @@
+"""Versioned benchmark trajectory store with a noise-aware gate.
+
+``benchmarks/bench_sim.py`` and ``benchmarks/bench_hotpath.py`` each
+write their own JSON shape (records/second per scenario; wall seconds
+per scenario). This module unifies both into one committed history —
+``benchmarks/BENCH_trajectory.json`` — so every PR's CI run can ask
+the only question that matters: *is this build slower than the recent
+past, beyond what machine noise explains?*
+
+Store schema (``version`` 1)::
+
+    {"version": 1,
+     "benches": {
+       "sim":     [ {"run_id": 1, "label": "...", "metrics": {
+                      "closed_synthetic": {"value": 19768.8,
+                                           "unit": "rec/s",
+                                           "higher_is_better": true}, ...}},
+                    ... ],
+       "hotpath": [ ... ]}}
+
+The gate (:func:`gate`) compares a fresh run against the per-metric
+median of the stored history. The allowed envelope is *noise-aware*:
+``max(rel_tolerance, noise_factor * relative spread of the history)``,
+capped at ``max_envelope`` — a metric whose history wobbles 10% run to
+run gets a proportionally wider envelope than one that repeats to 1%.
+Wall-clock benchmarks on shared CI runners are noisy by nature, so the
+default tolerance is deliberately generous: the gate exists to catch
+real regressions (2x slower cache fills), not 5% scheduler jitter.
+Improvements never fail the gate; they just become the new history
+once appended.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.metrics.report import format_table
+
+SCHEMA_VERSION = 1
+
+#: Bench names the store knows how to adapt raw ``BENCH_*.json`` into.
+KNOWN_BENCHES = ("sim", "hotpath")
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One benchmark metric sample."""
+
+    value: float
+    unit: str
+    higher_is_better: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricPoint":
+        return cls(
+            value=float(data["value"]),  # type: ignore[arg-type]
+            unit=str(data.get("unit", "")),
+            higher_is_better=bool(data.get("higher_is_better", True)),
+        )
+
+
+@dataclass
+class TrajectoryRun:
+    """One benchmark run's metrics, as stored in the trajectory."""
+
+    bench: str
+    metrics: Dict[str, MetricPoint]
+    label: str = ""
+    #: Assigned by :meth:`TrajectoryStore.append`; 0 = not yet stored.
+    run_id: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "label": self.label,
+            "metrics": {k: v.to_dict() for k, v in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, bench: str, data: Dict[str, object]) -> "TrajectoryRun":
+        metrics = {
+            name: MetricPoint.from_dict(point)
+            for name, point in dict(data.get("metrics", {})).items()  # type: ignore[arg-type]
+        }
+        return cls(
+            bench=bench,
+            metrics=metrics,
+            label=str(data.get("label", "")),
+            run_id=int(data.get("run_id", 0)),  # type: ignore[arg-type]
+        )
+
+
+def run_from_bench_sim(data: Dict[str, object], label: str = "") -> TrajectoryRun:
+    """Adapt a ``bench_sim.py`` output dict (records/s, higher wins)."""
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ReproError("bench_sim output has no 'scenarios' table")
+    metrics = {
+        name: MetricPoint(
+            value=float(entry["records_per_s"]),
+            unit="rec/s",
+            higher_is_better=True,
+        )
+        for name, entry in scenarios.items()
+    }
+    return TrajectoryRun(bench="sim", metrics=metrics, label=label)
+
+
+def run_from_bench_hotpath(
+    data: Dict[str, object], label: str = ""
+) -> TrajectoryRun:
+    """Adapt a ``bench_hotpath.py`` output dict (seconds, lower wins)."""
+    metrics = {
+        name: MetricPoint(value=float(value), unit="s", higher_is_better=False)
+        for name, value in data.items()
+        if isinstance(value, (int, float))
+    }
+    if not metrics:
+        raise ReproError("bench_hotpath output has no numeric metrics")
+    return TrajectoryRun(bench="hotpath", metrics=metrics, label=label)
+
+
+#: ``BENCH_*.json`` adapters by bench name.
+BENCH_ADAPTERS = {
+    "sim": run_from_bench_sim,
+    "hotpath": run_from_bench_hotpath,
+}
+
+
+class TrajectoryStore:
+    """Append-only history of benchmark runs, one JSON file on disk."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._benches: Dict[str, List[TrajectoryRun]] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read trajectory {self.path}: {exc}")
+        version = data.get("version")
+        if version != SCHEMA_VERSION:
+            raise ReproError(
+                f"{self.path}: trajectory schema version {version!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        for bench, runs in dict(data.get("benches", {})).items():
+            self._benches[bench] = [
+                TrajectoryRun.from_dict(bench, run) for run in runs
+            ]
+
+    def save(self) -> None:
+        """Write the store back to its path (stable key order)."""
+        data = {
+            "version": SCHEMA_VERSION,
+            "benches": {
+                bench: [run.to_dict() for run in runs]
+                for bench, runs in sorted(self._benches.items())
+            },
+        }
+        self.path.write_text(
+            json.dumps(data, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def benches(self) -> List[str]:
+        return sorted(self._benches)
+
+    def runs(self, bench: str) -> List[TrajectoryRun]:
+        """Stored runs for ``bench``, oldest first (empty if unknown)."""
+        return list(self._benches.get(bench, []))
+
+    def history(self, bench: str, metric: str) -> List[float]:
+        """The metric's values across stored runs, oldest first."""
+        return [
+            run.metrics[metric].value
+            for run in self._benches.get(bench, [])
+            if metric in run.metrics
+        ]
+
+    def metric_names(self, bench: str) -> List[str]:
+        """Every metric name seen for ``bench``, first-seen order."""
+        names: List[str] = []
+        for run in self._benches.get(bench, []):
+            for name in run.metrics:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    # -- mutation -----------------------------------------------------
+
+    def append(self, run: TrajectoryRun) -> TrajectoryRun:
+        """Append ``run`` with the next run id (does not save)."""
+        runs = self._benches.setdefault(run.bench, [])
+        run.run_id = (runs[-1].run_id + 1) if runs else 1
+        runs.append(run)
+        return run
+
+
+# -- the gate ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """Noise-envelope parameters for the regression gate."""
+
+    #: Envelope floor: a metric may be this much worse than the
+    #: baseline median before the gate fails, regardless of history.
+    rel_tolerance: float = 0.30
+    #: Noise multiplier: envelope grows to this many times the
+    #: history's relative spread ((max-min)/median) when that is wider
+    #: than the floor.
+    noise_factor: float = 3.0
+    #: Envelope ceiling, so a wild history cannot disable the gate.
+    max_envelope: float = 0.60
+    #: Most recent runs considered when computing the baseline.
+    window: int = 8
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's comparison against its history."""
+
+    metric: str
+    new_value: float
+    unit: str
+    baseline: Optional[float]
+    #: Signed relative change, oriented so *negative is worse*.
+    change: Optional[float]
+    envelope: float
+    regressed: bool
+    note: str = ""
+
+
+@dataclass
+class GateReport:
+    """Every metric's verdict for one bench run."""
+
+    bench: str
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not any(v.regressed for v in self.verdicts)
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.regressed]
+
+    def to_text(self) -> str:
+        rows = []
+        for v in self.verdicts:
+            rows.append(
+                [
+                    v.metric,
+                    f"{v.new_value:g}",
+                    f"{v.baseline:g}" if v.baseline is not None else "-",
+                    f"{100 * v.change:+.1f}%" if v.change is not None else "-",
+                    f"{100 * v.envelope:.0f}%",
+                    "REGRESSED" if v.regressed else "ok",
+                ]
+            )
+        table = format_table(
+            ["metric", "new", "baseline", "change", "envelope", "verdict"], rows
+        )
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"perf-gate [{self.bench}]: {status} "
+            f"({len(self.regressions)} regression(s) / "
+            f"{len(self.verdicts)} metric(s))\n{table}"
+        )
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def gate(
+    new_run: TrajectoryRun,
+    history: Sequence[TrajectoryRun],
+    policy: GatePolicy = GatePolicy(),
+) -> GateReport:
+    """Compare ``new_run`` against ``history`` under ``policy``.
+
+    Metrics with no stored history pass with a note (the first run of
+    a new scenario seeds the trajectory instead of failing it); only a
+    change *worse* than the noise envelope fails.
+    """
+    report = GateReport(bench=new_run.bench)
+    for metric, point in new_run.metrics.items():
+        values = [
+            run.metrics[metric].value
+            for run in history
+            if metric in run.metrics
+        ][-policy.window:]
+        if not values:
+            report.verdicts.append(
+                MetricVerdict(
+                    metric=metric,
+                    new_value=point.value,
+                    unit=point.unit,
+                    baseline=None,
+                    change=None,
+                    envelope=policy.rel_tolerance,
+                    regressed=False,
+                    note="no history (seeding)",
+                )
+            )
+            continue
+        baseline = _median(values)
+        if baseline == 0:
+            spread = 0.0
+            change = 0.0
+        else:
+            spread = (max(values) - min(values)) / abs(baseline)
+            raw = (point.value - baseline) / abs(baseline)
+            # Orient so negative is always "worse".
+            change = raw if point.higher_is_better else -raw
+        envelope = min(
+            policy.max_envelope,
+            max(policy.rel_tolerance, policy.noise_factor * spread),
+        )
+        report.verdicts.append(
+            MetricVerdict(
+                metric=metric,
+                new_value=point.value,
+                unit=point.unit,
+                baseline=baseline,
+                change=change,
+                envelope=envelope,
+                regressed=change < -envelope,
+                note="",
+            )
+        )
+    return report

@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import ReproError
 from repro.experiments.base import SeriesResult
-from repro.metrics.ascii_chart import render_chart, render_series_result
+from repro.metrics.ascii_chart import (
+    SPARK_GLYPHS,
+    render_chart,
+    render_series_result,
+    sparkline,
+)
 
 
 def test_renders_axis_and_legend():
@@ -68,3 +73,44 @@ def test_series_result_wrapper():
     result.add_point("y", 2.0)
     text = render_series_result(result)
     assert "figZZ" in text
+
+
+# -- sparklines (report rendering must survive degenerate series) ------
+
+
+def test_sparkline_monotone_ramps_through_glyphs():
+    text = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert text[0] == SPARK_GLYPHS[0]
+    assert text[-1] == SPARK_GLYPHS[-1]
+    assert len(text) == 4
+
+
+def test_sparkline_single_point_renders_mid_block():
+    text = sparkline([7.5])
+    assert len(text) == 1
+    assert text in SPARK_GLYPHS
+
+
+def test_sparkline_all_equal_values_no_division_by_zero():
+    text = sparkline([5.0] * 6)
+    assert len(text) == 6
+    assert set(text) == {SPARK_GLYPHS[len(SPARK_GLYPHS) // 2]}
+
+
+def test_sparkline_empty_and_all_nan():
+    assert sparkline([]) == "(no data)"
+    assert sparkline([math.nan, math.nan]) == "(no data)"
+
+
+def test_sparkline_nan_points_become_placeholders():
+    text = sparkline([1.0, math.nan, 2.0])
+    assert text[1] == "·"
+    assert text[0] in SPARK_GLYPHS and text[2] in SPARK_GLYPHS
+
+
+def test_sparkline_negative_and_infinite_values():
+    text = sparkline([-3.0, math.inf, -1.0])
+    # inf is non-finite: placeholder, not a crash or a collapsed scale
+    assert text[1] == "·"
+    assert text[0] == SPARK_GLYPHS[0]
+    assert text[2] == SPARK_GLYPHS[-1]

@@ -177,3 +177,11 @@ class TestRegistryAndCli:
     def test_cli_runs_validation(self, capsys):
         assert cli_main(["validation", "--scale", "0.2"]) == 0
         assert "error_frac" in capsys.readouterr().out
+
+    def test_cli_report_flag_writes_perfkit_page(self, tmp_path, capsys):
+        out = tmp_path / "fig01.md"
+        assert cli_main(["fig01", "--report", str(out)]) == 0
+        md = out.read_text(encoding="utf-8")
+        assert md.startswith("# perfkit report — fig01")
+        assert "## Sparklines" in md
+        assert str(out) in capsys.readouterr().err

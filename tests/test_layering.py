@@ -126,6 +126,29 @@ def test_checker_flags_device_internals_import(tmp_path, monkeypatch):
     assert "repro.devices.flash" in errors[1]
 
 
+def test_checker_flags_perfkit_internals_import(tmp_path, monkeypatch):
+    """Perfkit reaching into the simulated hardware (planted controller
+    and cache imports) trips rule 10; the obs/metrics surfaces and the
+    experiments facade stay allowed."""
+    checker = load_checker()
+    src = tmp_path / "src"
+    perfkit = src / "repro" / "perfkit"
+    perfkit.mkdir(parents=True)
+    (perfkit / "sneaky.py").write_text(
+        "from repro.controller.stats import ControllerStats\n"
+        "from repro.cache.core import CacheStats\n"
+        "from repro.obs.timeline import merge_time_in_state\n"  # allowed
+        "from repro.metrics.report import format_table\n"  # allowed
+        "from repro.experiments.runner import TechniqueRunner\n"  # allowed
+    )
+    errors = []
+    monkeypatch.setattr(checker, "SRC", src)
+    checker.check_perfkit_independence(errors)
+    assert len(errors) == 2
+    assert "repro.controller.stats" in errors[0]
+    assert "repro.cache.core" in errors[1]
+
+
 def test_checker_flags_private_cross_import(tmp_path, monkeypatch):
     checker = load_checker()
     src = tmp_path / "src"

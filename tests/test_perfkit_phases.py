@@ -1,0 +1,158 @@
+"""Streaming phase detection on synthetic streams with known breaks."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perfkit.phases import PhaseDetector, detect_phases, phase_table
+from repro.workloads.trace import DiskAccess, TimedAccess
+
+WINDOW = 16
+
+
+def reads(n, start=0, blocks=4):
+    """Untimed homogeneous read records, one file-sized run each."""
+    return [
+        DiskAccess(((start + i * 2 * blocks, blocks),), False)
+        for i in range(n)
+    ]
+
+
+def writes(n, start=0, blocks=4):
+    return [
+        DiskAccess(((start + i * 2 * blocks, blocks),), True) for i in range(n)
+    ]
+
+
+def timed(records, interarrival_ms, t0=0.0):
+    out, now = [], t0
+    for r in records:
+        out.append(TimedAccess(r.runs, r.is_write, timestamp_ms=now))
+        now += interarrival_ms
+    return out
+
+
+def test_empty_stream_yields_no_phases():
+    assert detect_phases([], window_records=WINDOW) == []
+    assert phase_table([]) == "(no records — no phases)"
+
+
+def test_homogeneous_stream_is_one_phase():
+    phases = detect_phases(reads(8 * WINDOW), window_records=WINDOW)
+    assert len(phases) == 1
+    phase = phases[0]
+    assert (phase.start_record, phase.end_record) == (0, 8 * WINDOW)
+    assert phase.n_records == 8 * WINDOW
+    assert phase.start_ms is None and phase.duration_ms is None
+    assert phase.signals["write_frac"] == 0.0
+    assert phase.signals["mean_blocks"] == 4.0
+    assert "rate_req_s" not in phase.signals  # untimed: no rate signal
+
+
+def test_write_mix_change_point_found_at_boundary():
+    stream = reads(4 * WINDOW) + writes(4 * WINDOW, start=10_000)
+    phases = detect_phases(stream, window_records=WINDOW)
+    assert len(phases) == 2
+    assert phases[0].end_record == 4 * WINDOW
+    assert phases[1].start_record == 4 * WINDOW
+    assert phases[0].signals["write_frac"] == 0.0
+    assert phases[1].signals["write_frac"] == 1.0
+
+
+def test_arrival_rate_change_point_found():
+    slow = timed(reads(4 * WINDOW), interarrival_ms=4.0)
+    fast = timed(
+        reads(4 * WINDOW, start=10_000),
+        interarrival_ms=1.0,
+        t0=slow[-1].timestamp_ms + 4.0,
+    )
+    phases = detect_phases(slow + fast, window_records=WINDOW)
+    assert len(phases) == 2
+    assert phases[0].end_record == 4 * WINDOW
+    # rates recover the interarrival means (1000/4 and 1000/1 req/s)
+    assert phases[0].signals["rate_req_s"] == pytest.approx(250.0, rel=0.1)
+    assert phases[1].signals["rate_req_s"] == pytest.approx(1000.0, rel=0.1)
+    # sealed phase time bounds never leak into the next phase
+    assert phases[0].end_ms < phases[1].start_ms
+    assert phases[0].duration_ms > 0
+
+
+def test_request_size_change_point_found():
+    small = reads(4 * WINDOW, blocks=4)
+    large = reads(4 * WINDOW, start=100_000, blocks=16)
+    phases = detect_phases(small + large, window_records=WINDOW)
+    assert len(phases) == 2
+    assert phases[0].signals["mean_blocks"] == 4.0
+    assert phases[1].signals["mean_blocks"] == 16.0
+
+
+def test_tail_window_joins_current_phase():
+    # 4 full windows plus a 5-record tail: still one phase to the end
+    n = 4 * WINDOW + 5
+    phases = detect_phases(reads(n), window_records=WINDOW)
+    assert len(phases) == 1
+    assert phases[0].end_record == n
+
+
+def test_tail_shorter_than_one_window_is_one_phase():
+    phases = detect_phases(reads(3), window_records=WINDOW)
+    assert len(phases) == 1
+    assert phases[0].n_records == 3
+
+
+def test_sequential_runs_raise_seq_frac():
+    records = []
+    pos = 0
+    for _ in range(4 * WINDOW):
+        records.append(DiskAccess(((pos, 4),), False))
+        pos += 4  # next record starts exactly where this one ended
+    phases = detect_phases(records, window_records=WINDOW)
+    assert len(phases) == 1
+    # every record but the very first continues its predecessor
+    expected = (4 * WINDOW - 1) / (4 * WINDOW)
+    assert phases[0].signals["seq_frac"] == pytest.approx(expected)
+
+
+def test_detection_is_deterministic():
+    stream = reads(3 * WINDOW) + writes(3 * WINDOW, start=10_000)
+    first = detect_phases(stream, window_records=WINDOW)
+    second = detect_phases(stream, window_records=WINDOW)
+    assert first == second
+
+
+def test_streaming_equals_batch():
+    stream = reads(2 * WINDOW) + writes(2 * WINDOW, start=10_000)
+    detector = PhaseDetector(window_records=WINDOW)
+    for record in stream:
+        detector.feed(record)
+    assert detector.finish() == detect_phases(stream, window_records=WINDOW)
+
+
+def test_feed_after_finish_raises():
+    detector = PhaseDetector(window_records=WINDOW)
+    detector.finish()
+    with pytest.raises(ReproError):
+        detector.feed(reads(1)[0])
+
+
+def test_finish_is_idempotent():
+    detector = PhaseDetector(window_records=WINDOW)
+    for record in reads(2 * WINDOW):
+        detector.feed(record)
+    assert detector.finish() == detector.finish()
+
+
+def test_parameter_validation():
+    with pytest.raises(ReproError):
+        PhaseDetector(window_records=1)
+    with pytest.raises(ReproError):
+        PhaseDetector(threshold=0.0)
+    with pytest.raises(ReproError):
+        PhaseDetector(threshold=-1.0)
+
+
+def test_phase_table_renders_timed_and_untimed():
+    untimed = phase_table(detect_phases(reads(2 * WINDOW), window_records=WINDOW))
+    assert "write_frac" in untimed and "t_start_ms" not in untimed
+    stream = timed(reads(2 * WINDOW), interarrival_ms=2.0)
+    timed_table = phase_table(detect_phases(stream, window_records=WINDOW))
+    assert "t_start_ms" in timed_table and "rate_req_s" in timed_table

@@ -1,0 +1,193 @@
+"""Trajectory store round-trips and the noise-aware regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perfkit.trajectory import (
+    GatePolicy,
+    MetricPoint,
+    TrajectoryRun,
+    TrajectoryStore,
+    gate,
+    run_from_bench_hotpath,
+    run_from_bench_sim,
+)
+
+
+def sim_data(rps=20_000.0):
+    return {
+        "scenarios": {
+            "closed_synthetic": {"records": 10_000, "records_per_s": rps},
+            "open_synthetic": {"records": 10_000, "records_per_s": rps * 1.1},
+        }
+    }
+
+
+def make_run(value, name="metric", higher_is_better=True, bench="sim"):
+    return TrajectoryRun(
+        bench=bench,
+        metrics={
+            name: MetricPoint(
+                value=value, unit="x", higher_is_better=higher_is_better
+            )
+        },
+    )
+
+
+# -- adapters ----------------------------------------------------------
+
+
+def test_sim_adapter_maps_scenarios():
+    run = run_from_bench_sim(sim_data(), label="fresh")
+    assert run.bench == "sim" and run.label == "fresh"
+    point = run.metrics["closed_synthetic"]
+    assert point.value == 20_000.0
+    assert point.unit == "rec/s" and point.higher_is_better
+
+
+def test_sim_adapter_rejects_empty():
+    with pytest.raises(ReproError):
+        run_from_bench_sim({"scenarios": {}})
+    with pytest.raises(ReproError):
+        run_from_bench_sim({})
+
+
+def test_hotpath_adapter_keeps_numeric_metrics_lower_is_better():
+    run = run_from_bench_hotpath(
+        {"replay_loop_s": 0.017, "note": "ignored"}, label="a"
+    )
+    assert set(run.metrics) == {"replay_loop_s"}
+    assert not run.metrics["replay_loop_s"].higher_is_better
+    with pytest.raises(ReproError):
+        run_from_bench_hotpath({"note": "no numbers"})
+
+
+# -- store -------------------------------------------------------------
+
+
+def test_store_append_save_load_roundtrip(tmp_path):
+    path = tmp_path / "traj.json"
+    store = TrajectoryStore(path)
+    store.append(run_from_bench_sim(sim_data(), label="one"))
+    store.append(run_from_bench_sim(sim_data(21_000.0), label="two"))
+    store.save()
+
+    loaded = TrajectoryStore(path)
+    runs = loaded.runs("sim")
+    assert [(r.run_id, r.label) for r in runs] == [(1, "one"), (2, "two")]
+    assert loaded.history("sim", "closed_synthetic") == [20_000.0, 21_000.0]
+    assert loaded.benches == ["sim"]
+    assert "closed_synthetic" in loaded.metric_names("sim")
+    # round-trip preserves point fields exactly
+    assert runs[0].metrics["closed_synthetic"] == MetricPoint(
+        20_000.0, "rec/s", True
+    )
+
+
+def test_store_rejects_unknown_schema_version(tmp_path):
+    path = tmp_path / "traj.json"
+    path.write_text(json.dumps({"version": 99, "benches": {}}))
+    with pytest.raises(ReproError):
+        TrajectoryStore(path)
+
+
+def test_store_rejects_corrupt_json(tmp_path):
+    path = tmp_path / "traj.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError):
+        TrajectoryStore(path)
+
+
+def test_missing_store_is_empty(tmp_path):
+    store = TrajectoryStore(tmp_path / "absent.json")
+    assert store.benches == []
+    assert store.runs("sim") == []
+
+
+# -- gate --------------------------------------------------------------
+
+
+def test_first_run_seeds_without_failing():
+    report = gate(make_run(100.0), history=[])
+    assert report.passed
+    assert report.verdicts[0].note == "no history (seeding)"
+    assert report.verdicts[0].baseline is None
+
+
+def test_identical_rerun_passes():
+    """The noise-envelope promise: re-running an identical build never
+    trips the gate."""
+    history = [make_run(100.0), make_run(101.0), make_run(99.0)]
+    report = gate(make_run(100.0), history)
+    assert report.passed, report.to_text()
+
+
+def test_injected_regression_fails():
+    history = [make_run(100.0), make_run(101.0), make_run(99.0)]
+    report = gate(make_run(50.0), history)  # 2x slower throughput
+    assert not report.passed
+    assert report.regressions[0].metric == "metric"
+    assert "REGRESSED" in report.to_text()
+    assert "FAIL" in report.to_text()
+
+
+def test_improvement_never_fails():
+    history = [make_run(100.0)]
+    report = gate(make_run(300.0), history)
+    assert report.passed
+
+
+def test_direction_awareness_for_lower_is_better():
+    history = [make_run(0.10, higher_is_better=False)]
+    slower = gate(make_run(0.25, higher_is_better=False), history)
+    assert not slower.passed  # seconds went up: regression
+    faster = gate(make_run(0.05, higher_is_better=False), history)
+    assert faster.passed
+
+
+def test_noisy_history_widens_envelope():
+    # spread (140-60)/100 = 0.8; envelope = min(max_env, 3*0.8) = cap
+    noisy = [make_run(60.0), make_run(100.0), make_run(140.0)]
+    policy = GatePolicy(rel_tolerance=0.10, noise_factor=3.0, max_envelope=0.60)
+    report = gate(make_run(45.0), noisy, policy)
+    assert report.verdicts[0].envelope == pytest.approx(0.60)
+    assert report.passed  # -55% within the widened envelope
+    # the same drop against a tight history fails
+    tight = [make_run(100.0), make_run(100.0), make_run(100.0)]
+    assert not gate(make_run(45.0), tight, policy).passed
+
+
+def test_baseline_is_median_of_recent_window():
+    history = [make_run(v) for v in (10.0, 100.0, 102.0, 98.0)]
+    policy = GatePolicy(window=3)  # the old outlier falls outside
+    report = gate(make_run(100.0), history, policy)
+    assert report.verdicts[0].baseline == pytest.approx(100.0)
+
+
+def test_new_metric_in_new_run_seeds():
+    history = [make_run(100.0, name="old")]
+    new = TrajectoryRun(
+        bench="sim",
+        metrics={
+            "old": MetricPoint(100.0, "x", True),
+            "brand_new": MetricPoint(5.0, "x", True),
+        },
+    )
+    report = gate(new, history)
+    assert report.passed
+    notes = {v.metric: v.note for v in report.verdicts}
+    assert notes["brand_new"] == "no history (seeding)"
+    assert notes["old"] == ""
+
+
+def test_committed_trajectory_gates_the_committed_benches():
+    """The repo's own baselines pass their own gate (self-consistency)."""
+    store = TrajectoryStore("benchmarks/BENCH_trajectory.json")
+    assert set(store.benches) == {"sim", "hotpath"}
+    for bench in store.benches:
+        runs = store.runs(bench)
+        assert len(runs) >= 2, "need history for a noise envelope"
+        report = gate(runs[-1], runs[:-1])
+        assert report.passed, report.to_text()

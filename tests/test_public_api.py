@@ -44,6 +44,7 @@ def test_all_has_no_duplicates():
         "repro.metrics",
         "repro.obs",
         "repro.experiments",
+        "repro.perfkit",
     ],
 )
 def test_every_subpackage_imports(module):

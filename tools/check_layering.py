@@ -40,6 +40,13 @@ Enforced rules (AST-level, no imports executed):
    (``repro.mechanics``, ``repro.geometry``) or a concrete model
    module (``repro.devices.hdd``, ``repro.devices.flash``) — that
    boundary is what keeps new device technologies drop-in.
+10. **Perfkit is a pure consumer of result surfaces** —
+   ``repro.perfkit`` analyzes runs through the obs/metrics surfaces
+   and drives them through the experiments facade (plus config,
+   workloads and the shared leaves); it never imports controller /
+   cache / disk / array / host internals. Analytics that needs a new
+   number must get it added to a result surface, not reach into the
+   simulator.
 
 Run from the repository root: ``python tools/check_layering.py``.
 Exits non-zero listing every violation.
@@ -248,6 +255,36 @@ def check_device_registry_surface(errors: List[str]) -> None:
                     )
 
 
+#: The only repro packages/modules ``repro.perfkit`` may import from:
+#: result/obs surfaces and the experiments facade — never the
+#: simulated hardware underneath.
+PERFKIT_ALLOWED = (
+    "repro.perfkit",
+    "repro.obs",
+    "repro.metrics",
+    "repro.errors",
+    "repro.units",
+    "repro.config",
+    "repro.experiments",
+    "repro.workloads",
+    "repro.sim.rng",
+)
+
+
+def check_perfkit_independence(errors: List[str]) -> None:
+    for path in sorted((SRC / "repro" / "perfkit").glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, _names in iter_imports(tree):
+            if not module.startswith("repro"):
+                continue
+            if not module.startswith(PERFKIT_ALLOWED):
+                errors.append(
+                    f"{path}: perfkit consumes result surfaces and may "
+                    f"only import {', '.join(PERFKIT_ALLOWED)} "
+                    f"(imports {module})"
+                )
+
+
 def main() -> int:
     errors: List[str] = []
     check_stage_order(errors)
@@ -259,6 +296,7 @@ def main() -> int:
     check_loadgen_independence(errors)
     check_service_independence(errors)
     check_device_registry_surface(errors)
+    check_perfkit_independence(errors)
     if errors:
         print(f"layering check: {len(errors)} violation(s)", file=sys.stderr)
         for err in errors:
