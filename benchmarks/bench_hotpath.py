@@ -17,6 +17,12 @@ which compares every scenario against the committed
 ``BENCH_trajectory.json`` history and fails the build on a slowdown
 beyond the noise envelope (see :mod:`repro.perfkit.trajectory`).
 
+The output also records ``calibration_s`` — the in-process reference
+workload time from :mod:`repro.perfkit.calibrate` — and the gate
+stores each scenario as ``wall_s / calibration_s``, so the committed
+history is comparable across machines (a dev laptop and a shared CI
+runner disagree wildly on absolute seconds, but agree on the ratio).
+
 Usage: ``PYTHONPATH=src python benchmarks/bench_hotpath.py [-o OUT]``
 """
 
@@ -32,6 +38,7 @@ from repro.cache.segment import SegmentCache
 from repro.config import ArrayParams, CacheParams, DiskParams, SegmentPolicy, make_config
 from repro.host.streams import ReplayDriver
 from repro.host.system import System
+from repro.perfkit.calibrate import calibration_seconds
 from repro.units import KB, MB
 from repro.workloads.trace import DiskAccess, Trace, TraceMeta
 
@@ -98,7 +105,7 @@ def main() -> None:
     parser.add_argument("-o", "--output", default="BENCH_hotpath.json")
     args = parser.parse_args()
 
-    results = {}
+    results = {"calibration_s": round(calibration_seconds(), 4)}
     for n in (64, 512, 2048):
         results[f"segment_fill_evict_n{n}_s"] = round(bench_segment_fill_evict(n), 4)
     results["block_fill_access_s"] = round(bench_block_fill_access(), 4)

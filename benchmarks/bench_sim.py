@@ -30,12 +30,15 @@ sources plus the flash device model:
 Output is ``BENCH_sim.json``: per scenario the wall seconds, the
 records/second, the pre-PR baseline records/second measured with this
 same harness before the PR-6 fast path landed, and the speedup over
-that baseline. CI's ``perf-gate`` job runs this every PR as a *gating*
-step: ``python -m repro.perfkit gate`` compares every scenario against
-the committed ``BENCH_trajectory.json`` history and fails the build on
-a regression beyond the noise envelope. Correctness is gated
-separately by the golden byte-identity diffs (the fast path must not
-change a single output byte).
+that baseline — plus ``calibration_s``, the in-process reference
+workload time from :mod:`repro.perfkit.calibrate`. CI's ``perf-gate``
+job runs this every PR as a *gating* step: ``python -m repro.perfkit
+gate`` stores every scenario as ``records_per_s * calibration_s``
+(records per calibration unit of CPU — stable across machines, unlike
+raw records/second) and fails the build on a regression beyond the
+noise envelope against the committed ``BENCH_trajectory.json``
+history. Correctness is gated separately by the golden byte-identity
+diffs (the fast path must not change a single output byte).
 
 Usage: ``PYTHONPATH=src python benchmarks/bench_sim.py [-o OUT]
 [--scale S] [--profile SCENARIO]``
@@ -62,6 +65,7 @@ from repro.experiments.trace_replay import _synthetic_timed
 from repro.ingest.detect import parse_source
 from repro.ingest.remap import AddressRemapper, infer_layout
 from repro.loadgen import build_layout, generate_records, preset_population
+from repro.perfkit.calibrate import calibration_seconds
 from repro.workloads.trace import TimedAccess, Trace, TraceMeta
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -187,7 +191,13 @@ def main() -> None:
         pstats.Stats(profiler, stream=sys.stdout).sort_stats("tottime").print_stats(25)
         return
 
-    results: dict = {"scale": args.scale, "scenarios": {}}
+    calibration = calibration_seconds()
+    print(f"{'calibration':>18}: {calibration:6.4f}s reference round", file=sys.stderr)
+    results: dict = {
+        "scale": args.scale,
+        "calibration_s": round(calibration, 4),
+        "scenarios": {},
+    }
     speedups = []
     for name, fn in scenarios(args.scale):
         rps, wall, res = fn()

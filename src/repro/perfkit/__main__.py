@@ -12,14 +12,20 @@ Commands:
   regression: this is the CI ``perf-gate`` job's teeth.
 * ``phases`` — phase-detect the smoke workload and print the table
   (a quick detector sanity check without running the simulator).
+
+Argument parsing is strict argparse: an unknown flag or a flag with a
+missing value exits 2 with a usage message instead of being silently
+ignored — a misconfigured CI invocation must fail loudly, never pass
+vacuously.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import ReproError
 from repro.perfkit.phases import detect_phases, phase_table
@@ -39,72 +45,84 @@ from repro.perfkit.trajectory import (
 )
 
 
-def usage() -> str:
-    benches = "|".join(sorted(BENCH_ADAPTERS))
-    return (
-        "usage: python -m repro.perfkit <command> [options]\n"
-        "commands:\n"
-        "  report  [--seed N] [--scale X] [--trajectory PATH]\n"
-        "          [--out PATH] [--html]\n"
-        f"  gate    --bench {benches} --input BENCH.json\n"
-        "          [--trajectory PATH] [--append] [--label TEXT]\n"
-        "          [--report PATH]\n"
-        "  phases  [--seed N] [--scale X] [--window N]\n"
-        f"default trajectory: {DEFAULT_TRAJECTORY}"
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfkit",
+        description="performance analytics: reports, phase detection, "
+        "and the benchmark regression gate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render the fixed-seed smoke-sweep report"
+    )
+    report.add_argument("--seed", type=int, default=SMOKE_SEED)
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--trajectory", default=DEFAULT_TRAJECTORY)
+    report.add_argument("--out", default=None, help="write here instead of stdout")
+    report.add_argument("--html", action="store_true")
+
+    gate_p = sub.add_parser(
+        "gate", help="gate a fresh BENCH_*.json against the trajectory"
+    )
+    gate_p.add_argument(
+        "--bench", required=True, choices=sorted(BENCH_ADAPTERS)
+    )
+    gate_p.add_argument("--input", required=True, help="fresh BENCH_*.json path")
+    gate_p.add_argument("--trajectory", default=DEFAULT_TRAJECTORY)
+    gate_p.add_argument(
+        "--append", action="store_true",
+        help="append the run to the trajectory when the gate passes",
+    )
+    gate_p.add_argument("--label", default="")
+    gate_p.add_argument(
+        "--report", dest="report_out", default=None,
+        help="also write the gate verdict as markdown here",
     )
 
+    phases = sub.add_parser(
+        "phases", help="phase-detect the smoke workload and print the table"
+    )
+    phases.add_argument("--seed", type=int, default=SMOKE_SEED)
+    phases.add_argument("--scale", type=float, default=1.0)
+    phases.add_argument("--window", type=int, default=SMOKE_WINDOW)
+    return parser
 
-def _value_of(args: List[str], flag: str) -> Optional[str]:
-    if flag in args:
-        idx = args.index(flag)
-        if idx + 1 < len(args):
-            return args[idx + 1]
-    return None
 
-
-def _cmd_report(args: List[str]) -> int:
-    seed = int(_value_of(args, "--seed") or SMOKE_SEED)
-    scale = float(_value_of(args, "--scale") or 1.0)
-    trajectory = _value_of(args, "--trajectory") or DEFAULT_TRAJECTORY
-    out = _value_of(args, "--out")
-    text = smoke_report(scale=scale, seed=seed, trajectory_path=trajectory)
-    if "--html" in args:
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = smoke_report(
+        scale=args.scale, seed=args.seed, trajectory_path=args.trajectory
+    )
+    if args.html:
         text = markdown_to_html(text)
-    if out is not None:
-        Path(out).write_text(text, encoding="utf-8")
-        print(f"report -> {out}", file=sys.stderr)
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"report -> {args.out}", file=sys.stderr)
     else:
         print(text, end="")
     return 0
 
 
-def _cmd_gate(args: List[str]) -> int:
-    bench = _value_of(args, "--bench")
-    source = _value_of(args, "--input")
-    if bench not in BENCH_ADAPTERS or source is None:
-        print(usage(), file=sys.stderr)
-        return 2
-    trajectory = _value_of(args, "--trajectory") or DEFAULT_TRAJECTORY
-    label = _value_of(args, "--label") or ""
-    data = json.loads(Path(source).read_text(encoding="utf-8"))
-    run = BENCH_ADAPTERS[bench](data, label=label)
-    store = TrajectoryStore(trajectory)
-    report = gate(run, store.runs(bench), GatePolicy())
+def _cmd_gate(args: argparse.Namespace) -> int:
+    data = json.loads(Path(args.input).read_text(encoding="utf-8"))
+    run = BENCH_ADAPTERS[args.bench](data, label=args.label)
+    store = TrajectoryStore(args.trajectory)
+    report = gate(run, store.runs(args.bench), GatePolicy())
     print(report.to_text())
-    report_path = _value_of(args, "--report")
-    if report_path is not None:
+    if args.report_out is not None:
         md = (
-            f"# perf-gate — bench `{bench}`\n\n"
+            f"# perf-gate — bench `{args.bench}`\n\n"
             f"```text\n{report.to_text()}\n```\n"
         )
-        Path(report_path).write_text(md, encoding="utf-8")
-        print(f"gate report -> {report_path}", file=sys.stderr)
-    if "--append" in args:
+        Path(args.report_out).write_text(md, encoding="utf-8")
+        print(f"gate report -> {args.report_out}", file=sys.stderr)
+    if args.append:
         if report.passed:
             store.append(run)
             store.save()
             print(
-                f"appended run {run.run_id} to {trajectory}", file=sys.stderr
+                f"appended run {run.run_id} to {args.trajectory}",
+                file=sys.stderr,
             )
         else:
             print(
@@ -114,32 +132,30 @@ def _cmd_gate(args: List[str]) -> int:
     return 0 if report.passed else 1
 
 
-def _cmd_phases(args: List[str]) -> int:
-    seed = int(_value_of(args, "--seed") or SMOKE_SEED)
-    scale = float(_value_of(args, "--scale") or 1.0)
-    window = int(_value_of(args, "--window") or SMOKE_WINDOW)
-    _layout, trace = smoke_workload(scale=scale, seed=seed)
-    phases = detect_phases(trace.records, window_records=window)
+def _cmd_phases(args: argparse.Namespace) -> int:
+    _layout, trace = smoke_workload(scale=args.scale, seed=args.seed)
+    phases = detect_phases(trace.records, window_records=args.window)
     print(phase_table(phases))
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args[0] in ("-h", "--help"):
-        print(usage())
+    parser = build_parser()
+    if not args:
+        parser.print_help()
         return 0
-    command, rest = args[0], args[1:]
+    try:
+        namespace = parser.parse_args(args)
+    except SystemExit as exc:  # argparse already printed the diagnosis
+        return int(exc.code or 0)
     handlers = {
         "report": _cmd_report,
         "gate": _cmd_gate,
         "phases": _cmd_phases,
     }
-    if command not in handlers:
-        print(f"unknown command {command!r}\n{usage()}", file=sys.stderr)
-        return 2
     try:
-        return handlers[command](rest)
+        return handlers[namespace.command](namespace)
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"perfkit: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,70 @@
+"""In-process CPU calibration for machine-portable benchmark metrics.
+
+Wall-clock benchmark numbers measured on a developer laptop and on a
+shared CI runner differ by far more than any sane noise envelope —
+gating absolute seconds (or records/second) against a history recorded
+on different hardware fails builds for hardware reasons, not code
+reasons. The fix is the classic one: time a *fixed, deterministic*
+reference workload in the same process right before the benchmark, and
+express every benchmark metric as a ratio to that reference.
+
+:func:`calibration_seconds` times :func:`calibration_round`, a pure
+Python loop of dict churn, heap pushes/pops and integer mixing — the
+same interpreter-bound operation mix the simulator's hot loops spend
+their cycles in — and returns the best of a few repeats (the minimum
+is the standard noise-robust estimator for a fixed workload). A
+machine that runs the simulator 2x faster runs the calibration loop
+~2x faster too, so ``records_per_s * calibration_s`` (throughput
+benches) and ``wall_s / calibration_s`` (latency benches) are stable
+across machines to first order, and the committed trajectory history
+stays meaningful wherever it was recorded.
+
+Stdlib-only on purpose: layering rule 10 keeps ``repro.perfkit`` off
+the simulator internals, and the calibration loop must not change
+when the simulator does — it is the yardstick, not the workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List
+
+#: Iterations of the mixing loop per round — sized so one round takes
+#: on the order of 100 ms on current hardware: long enough that timer
+#: granularity is irrelevant, short enough that best-of-3 is cheap.
+CALIBRATION_ITERS = 150_000
+
+#: Repeats whose minimum :func:`calibration_seconds` reports.
+CALIBRATION_REPEATS = 3
+
+
+def calibration_round(iters: int = CALIBRATION_ITERS) -> int:
+    """One deterministic reference workload round; returns a checksum.
+
+    Dict get/set churn over a bounded key space, a bounded heap, and
+    integer mixing — no allocation patterns that depend on timing, no
+    randomness, no I/O. The checksum keeps the loop un-optimizable
+    and lets tests assert the workload itself never drifts.
+    """
+    table: Dict[int, int] = {}
+    heap: List[int] = []
+    acc = 0
+    for i in range(iters):
+        key = (i * 2654435761) & 0xFFFFF
+        acc = (acc + table.get(key, 0) + (key >> 7)) & 0xFFFFFFFF
+        table[key] = acc & 0xFFFF
+        heapq.heappush(heap, (key ^ acc) & 0xFFFF)
+        if len(heap) > 1024:
+            acc = (acc ^ heapq.heappop(heap)) & 0xFFFFFFFF
+    return acc
+
+
+def calibration_seconds(repeats: int = CALIBRATION_REPEATS) -> float:
+    """Best-of-``repeats`` wall seconds for one calibration round."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        calibration_round()
+        best = min(best, time.perf_counter() - t0)
+    return best

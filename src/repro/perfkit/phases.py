@@ -144,11 +144,18 @@ class PhaseDetector:
         makes the stream timed)."""
         if self._finished:
             raise ReproError("PhaseDetector.finish() was already called")
+        runs: Tuple[Tuple[int, int], ...] = record.runs  # type: ignore[attr-defined]
+        if not runs:
+            # Fail like the module's other validation paths, not with a
+            # bare IndexError from runs[0] below.
+            raise ReproError(
+                f"record {self._records_seen} has no block runs: "
+                "phase signals need at least one (start, length) run"
+            )
         window = self._window
         window.count += 1
         if getattr(record, "is_write", False):
             window.writes += 1
-        runs: Tuple[Tuple[int, int], ...] = record.runs  # type: ignore[attr-defined]
         first = runs[0][0]
         if self._prev_end is not None and first == self._prev_end:
             window.sequential += 1

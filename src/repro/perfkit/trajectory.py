@@ -101,15 +101,39 @@ class TrajectoryRun:
         )
 
 
+def _calibration_of(data: Dict[str, object], bench: str) -> float:
+    """The run's in-process calibration time, validated.
+
+    Absolute wall-clock numbers are not portable between a dev box and
+    a shared CI runner, so the adapters refuse benchmark dumps that
+    lack the calibration measurement rather than silently gating on
+    machine-dependent values (see :mod:`repro.perfkit.calibrate`).
+    """
+    calibration = data.get("calibration_s")
+    if not isinstance(calibration, (int, float)) or calibration <= 0:
+        raise ReproError(
+            f"bench_{bench} output has no usable 'calibration_s' "
+            f"(got {calibration!r}): re-run benchmarks/bench_{bench}.py — "
+            "absolute wall-clock metrics are not machine-portable"
+        )
+    return float(calibration)
+
+
 def run_from_bench_sim(data: Dict[str, object], label: str = "") -> TrajectoryRun:
-    """Adapt a ``bench_sim.py`` output dict (records/s, higher wins)."""
+    """Adapt a ``bench_sim.py`` output dict (higher wins).
+
+    Stores ``records_per_s * calibration_s`` — records serviced per
+    calibration unit of CPU — which is stable across machines, unlike
+    raw records/second.
+    """
     scenarios = data.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
         raise ReproError("bench_sim output has no 'scenarios' table")
+    calibration = _calibration_of(data, "sim")
     metrics = {
         name: MetricPoint(
-            value=float(entry["records_per_s"]),
-            unit="rec/s",
+            value=round(float(entry["records_per_s"]) * calibration, 1),
+            unit="rec/cal",
             higher_is_better=True,
         )
         for name, entry in scenarios.items()
@@ -120,11 +144,20 @@ def run_from_bench_sim(data: Dict[str, object], label: str = "") -> TrajectoryRu
 def run_from_bench_hotpath(
     data: Dict[str, object], label: str = ""
 ) -> TrajectoryRun:
-    """Adapt a ``bench_hotpath.py`` output dict (seconds, lower wins)."""
+    """Adapt a ``bench_hotpath.py`` output dict (lower wins).
+
+    Stores ``wall_s / calibration_s`` — scenario cost in calibration
+    units — which is stable across machines, unlike raw seconds.
+    """
+    calibration = _calibration_of(data, "hotpath")
     metrics = {
-        name: MetricPoint(value=float(value), unit="s", higher_is_better=False)
+        name: MetricPoint(
+            value=round(float(value) / calibration, 4),
+            unit="cal",
+            higher_is_better=False,
+        )
         for name, value in data.items()
-        if isinstance(value, (int, float))
+        if isinstance(value, (int, float)) and name != "calibration_s"
     }
     if not metrics:
         raise ReproError("bench_hotpath output has no numeric metrics")
@@ -266,6 +299,9 @@ class GateReport:
     def to_text(self) -> str:
         rows = []
         for v in self.verdicts:
+            verdict = "REGRESSED" if v.regressed else "ok"
+            if v.note:
+                verdict = f"{verdict} [{v.note}]"
             rows.append(
                 [
                     v.metric,
@@ -273,7 +309,7 @@ class GateReport:
                     f"{v.baseline:g}" if v.baseline is not None else "-",
                     f"{100 * v.change:+.1f}%" if v.change is not None else "-",
                     f"{100 * v.envelope:.0f}%",
-                    "REGRESSED" if v.regressed else "ok",
+                    verdict,
                 ]
             )
         table = format_table(
@@ -328,9 +364,22 @@ def gate(
             )
             continue
         baseline = _median(values)
+        note = ""
+        change: Optional[float]
+        regressed = False
         if baseline == 0:
+            # No relative change is defined against a zero baseline.
+            # A history of zeros usually means the stored values were
+            # rounded to nothing — any nonzero cost on a lower-is-
+            # better metric is then a real regression, not noise, and
+            # must not silently disable the gate.
             spread = 0.0
-            change = 0.0
+            change = None
+            regressed = point.value != 0 and (
+                (point.value > 0) != point.higher_is_better
+            )
+            if point.value != 0:
+                note = "zero baseline"
         else:
             spread = (max(values) - min(values)) / abs(baseline)
             raw = (point.value - baseline) / abs(baseline)
@@ -340,6 +389,8 @@ def gate(
             policy.max_envelope,
             max(policy.rel_tolerance, policy.noise_factor * spread),
         )
+        if change is not None:
+            regressed = change < -envelope
         report.verdicts.append(
             MetricVerdict(
                 metric=metric,
@@ -348,8 +399,8 @@ def gate(
                 baseline=baseline,
                 change=change,
                 envelope=envelope,
-                regressed=change < -envelope,
-                note="",
+                regressed=regressed,
+                note=note,
             )
         )
     return report

@@ -127,6 +127,24 @@ def test_streaming_equals_batch():
     assert detector.finish() == detect_phases(stream, window_records=WINDOW)
 
 
+def test_feed_rejects_record_with_empty_runs():
+    """A duck-typed record with no block runs raises the module's
+    ReproError (with the record index), not a bare IndexError."""
+    class HollowRecord:
+        runs = ()
+        is_write = False
+
+    detector = PhaseDetector(window_records=WINDOW)
+    detector.feed(reads(1)[0])
+    with pytest.raises(ReproError, match="record 1 has no block runs"):
+        detector.feed(HollowRecord())
+    # the stream is still usable afterwards: the bad record was not
+    # half-accounted into the window
+    for record in reads(2 * WINDOW):
+        detector.feed(record)
+    assert len(detector.finish()) == 1
+
+
 def test_feed_after_finish_raises():
     detector = PhaseDetector(window_records=WINDOW)
     detector.finish()

@@ -107,7 +107,12 @@ def test_cli_gate_passes_appends_and_fails_on_regression(tmp_path, capsys):
     traj = tmp_path / "traj.json"
     good = tmp_path / "bench.json"
     good.write_text(
-        json.dumps({"scenarios": {"s": {"records_per_s": 1000.0}}})
+        json.dumps(
+            {
+                "calibration_s": 0.1,
+                "scenarios": {"s": {"records_per_s": 1000.0}},
+            }
+        )
     )
     # seed run: no history, passes, appends
     assert (
@@ -145,7 +150,12 @@ def test_cli_gate_passes_appends_and_fails_on_regression(tmp_path, capsys):
     # injected 2x regression: exits 1, does not poison the history
     bad = tmp_path / "bad.json"
     bad.write_text(
-        json.dumps({"scenarios": {"s": {"records_per_s": 500.0}}})
+        json.dumps(
+            {
+                "calibration_s": 0.1,
+                "scenarios": {"s": {"records_per_s": 500.0}},
+            }
+        )
     )
     report_md = tmp_path / "gate.md"
     rc = perfkit_main(
@@ -181,6 +191,20 @@ def test_cli_usage_and_unknown_command(capsys):
     assert "usage" in capsys.readouterr().out
     assert perfkit_main(["bogus"]) == 2
     assert perfkit_main(["gate", "--bench", "nope"]) == 2
+
+
+def test_cli_rejects_malformed_invocations(capsys):
+    """Strict parsing: typos and dangling flags exit 2 instead of
+    being silently ignored (a misconfigured CI gate must not pass
+    vacuously)."""
+    # unknown flag
+    assert perfkit_main(["report", "--seeed", "3"]) == 2
+    # flag with its value missing at end-of-args
+    assert perfkit_main(["gate", "--bench", "sim", "--input"]) == 2
+    assert perfkit_main(["report", "--out"]) == 2
+    # required flag absent entirely
+    assert perfkit_main(["gate", "--bench", "sim"]) == 2
+    capsys.readouterr()
 
 
 def test_cli_gate_missing_input_file(tmp_path, capsys):

@@ -16,12 +16,13 @@ from repro.perfkit.trajectory import (
 )
 
 
-def sim_data(rps=20_000.0):
+def sim_data(rps=20_000.0, calibration=0.1):
     return {
+        "calibration_s": calibration,
         "scenarios": {
             "closed_synthetic": {"records": 10_000, "records_per_s": rps},
             "open_synthetic": {"records": 10_000, "records_per_s": rps * 1.1},
-        }
+        },
     }
 
 
@@ -39,29 +40,54 @@ def make_run(value, name="metric", higher_is_better=True, bench="sim"):
 # -- adapters ----------------------------------------------------------
 
 
-def test_sim_adapter_maps_scenarios():
+def test_sim_adapter_normalizes_by_calibration():
     run = run_from_bench_sim(sim_data(), label="fresh")
     assert run.bench == "sim" and run.label == "fresh"
     point = run.metrics["closed_synthetic"]
-    assert point.value == 20_000.0
-    assert point.unit == "rec/s" and point.higher_is_better
+    # 20k rec/s on a machine whose calibration round takes 0.1s:
+    # 2000 records per calibration unit — the machine-portable value.
+    assert point.value == 2_000.0
+    assert point.unit == "rec/cal" and point.higher_is_better
+    # a machine twice as fast runs both the bench and the calibration
+    # twice as fast: the stored metric is unchanged
+    doubled = run_from_bench_sim(sim_data(rps=40_000.0, calibration=0.05))
+    assert doubled.metrics["closed_synthetic"].value == point.value
 
 
 def test_sim_adapter_rejects_empty():
     with pytest.raises(ReproError):
-        run_from_bench_sim({"scenarios": {}})
+        run_from_bench_sim({"scenarios": {}, "calibration_s": 0.1})
     with pytest.raises(ReproError):
         run_from_bench_sim({})
 
 
+def test_adapters_reject_missing_calibration():
+    """Absolute wall-clock values are not machine-portable: a dump
+    without the in-process calibration must fail loudly, not gate
+    dev-box seconds against CI-runner seconds."""
+    data = sim_data()
+    del data["calibration_s"]
+    with pytest.raises(ReproError, match="calibration_s"):
+        run_from_bench_sim(data)
+    with pytest.raises(ReproError, match="calibration_s"):
+        run_from_bench_hotpath({"replay_loop_s": 0.017})
+    with pytest.raises(ReproError, match="calibration_s"):
+        run_from_bench_hotpath({"replay_loop_s": 0.017, "calibration_s": 0})
+
+
 def test_hotpath_adapter_keeps_numeric_metrics_lower_is_better():
     run = run_from_bench_hotpath(
-        {"replay_loop_s": 0.017, "note": "ignored"}, label="a"
+        {"replay_loop_s": 0.017, "calibration_s": 0.1, "note": "ignored"},
+        label="a",
     )
+    # calibration_s is the yardstick, not a gated metric
     assert set(run.metrics) == {"replay_loop_s"}
-    assert not run.metrics["replay_loop_s"].higher_is_better
+    point = run.metrics["replay_loop_s"]
+    assert not point.higher_is_better
+    assert point.value == pytest.approx(0.17)
+    assert point.unit == "cal"
     with pytest.raises(ReproError):
-        run_from_bench_hotpath({"note": "no numbers"})
+        run_from_bench_hotpath({"note": "no numbers", "calibration_s": 0.1})
 
 
 # -- store -------------------------------------------------------------
@@ -77,12 +103,12 @@ def test_store_append_save_load_roundtrip(tmp_path):
     loaded = TrajectoryStore(path)
     runs = loaded.runs("sim")
     assert [(r.run_id, r.label) for r in runs] == [(1, "one"), (2, "two")]
-    assert loaded.history("sim", "closed_synthetic") == [20_000.0, 21_000.0]
+    assert loaded.history("sim", "closed_synthetic") == [2_000.0, 2_100.0]
     assert loaded.benches == ["sim"]
     assert "closed_synthetic" in loaded.metric_names("sim")
     # round-trip preserves point fields exactly
     assert runs[0].metrics["closed_synthetic"] == MetricPoint(
-        20_000.0, "rec/s", True
+        2_000.0, "rec/cal", True
     )
 
 
@@ -159,6 +185,32 @@ def test_noisy_history_widens_envelope():
     assert not gate(make_run(45.0), tight, policy).passed
 
 
+def test_zero_baseline_regresses_lower_is_better():
+    """A history rounded to all zeros must not silently disable the
+    gate: nonzero cost on a lower-is-better metric is a regression."""
+    history = [make_run(0.0, higher_is_better=False)]
+    report = gate(make_run(0.05, higher_is_better=False), history)
+    assert not report.passed
+    verdict = report.regressions[0]
+    assert verdict.note == "zero baseline"
+    assert verdict.change is None
+    assert "zero baseline" in report.to_text()
+
+
+def test_zero_baseline_improvement_passes_with_note():
+    history = [make_run(0.0, higher_is_better=True)]
+    report = gate(make_run(5.0, higher_is_better=True), history)
+    assert report.passed
+    assert report.verdicts[0].note == "zero baseline"
+
+
+def test_zero_baseline_zero_value_passes_quietly():
+    history = [make_run(0.0, higher_is_better=False)]
+    report = gate(make_run(0.0, higher_is_better=False), history)
+    assert report.passed
+    assert report.verdicts[0].note == ""
+
+
 def test_baseline_is_median_of_recent_window():
     history = [make_run(v) for v in (10.0, 100.0, 102.0, 98.0)]
     policy = GatePolicy(window=3)  # the old outlier falls outside
@@ -180,6 +232,15 @@ def test_new_metric_in_new_run_seeds():
     notes = {v.metric: v.note for v in report.verdicts}
     assert notes["brand_new"] == "no history (seeding)"
     assert notes["old"] == ""
+
+
+def test_calibration_workload_is_deterministic_and_timable():
+    from repro.perfkit.calibrate import calibration_round, calibration_seconds
+
+    # the yardstick must never drift: same checksum forever
+    assert calibration_round() == calibration_round()
+    assert calibration_round(1_000) == calibration_round(1_000)
+    assert calibration_seconds(repeats=1) > 0
 
 
 def test_committed_trajectory_gates_the_committed_benches():
